@@ -1,0 +1,50 @@
+"""Shared benchmark settings.
+
+Each bench regenerates one paper artifact; the interesting output is the
+printed table (and the shape assertions), not statistical timing, so every
+bench runs exactly once via ``benchmark.pedantic``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Trace length used by the benchmark harness.  Long enough for the paper's
+#: shapes (the cache-friendly hot sets need tens of thousands of accesses to
+#: show reuse), short enough that the full battery completes in minutes.
+BENCH_TRACE_LENGTH = 15_000
+
+
+@pytest.fixture
+def bench_trace_length():
+    """Trace length shared by the experiment benches."""
+    return BENCH_TRACE_LENGTH
+
+
+@pytest.fixture
+def show(capsys):
+    """Print regenerated paper artifacts past pytest's output capture.
+
+    Benches are the reproduction record: their tables must land in the
+    console / tee'd log even when the bench passes.
+    """
+
+    def _show(*parts):
+        with capsys.disabled():
+            if not parts:
+                print()
+            for part in parts:
+                print(part)
+
+    return _show
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,117 @@
+"""Bench: the two-part design vs related-work STT-RAM L2 organizations.
+
+Not a paper figure — an extension quantifying the related-work contrast the
+paper draws in prose.  A *uniform* array must pick one retention point and
+loses either way:
+
+* ``relaxed-40ms`` (Sun MICRO'11 / Cache Revive style, refs [14]/[7]):
+  writes stay expensive because the write working set pays 40 ms-grade
+  pulses;
+* ``relaxed-40us``: writes get cheap but *every* resident line now expires
+  on the LR timescale — refresh traffic and expiry invalidations eat the
+  hit rate.
+
+The two-part design takes the cheap writes where they matter (LR) and the
+stability where it matters (HR).  Early Write Termination (ref [17]) stacks
+on top as a combinable optimization.
+"""
+
+from repro.analysis.tables import format_table
+from repro.config import L2Config, L2PartConfig, all_configs, config_c1
+from repro.core import build_l2
+from repro.experiments.common import replay_through_l1
+from repro.units import KB
+from repro.workloads.suite import build_workload
+
+BENCHMARKS = ("bfs", "kmeans", "hotspot")
+TRACE = 10_000
+
+
+def _organizations():
+    c1 = config_c1().l2
+    return {
+        "stt-naive": all_configs()["stt-baseline"].l2,
+        "relaxed-40ms": L2Config(
+            kind="stt-relaxed", main=L2PartConfig(1536 * KB, 8),
+            hr_retention_s=40e-3,
+        ),
+        "relaxed-40us": L2Config(
+            kind="stt-relaxed", main=L2PartConfig(1536 * KB, 8),
+            hr_retention_s=40e-6, lr_retention_s=10e-6,
+        ),
+        "twopart(C1)": c1,
+        "twopart+EWT": L2Config(
+            kind="twopart", main=c1.main, lr=c1.lr,
+            early_write_termination=True,
+        ),
+        # the hybrid SRAM+STT organization (ref [16]) is built directly
+        "hybrid-sramLR": None,
+    }
+
+
+def _build(l2_config):
+    if l2_config is None:
+        c1 = config_c1().l2
+        from repro.core import TwoPartSTTL2
+
+        assert c1.lr is not None
+        return TwoPartSTTL2(
+            hr_capacity_bytes=c1.main.capacity_bytes,
+            hr_associativity=c1.main.associativity,
+            lr_capacity_bytes=c1.lr.capacity_bytes,
+            lr_associativity=c1.lr.associativity,
+            lr_technology="sram",
+        )
+    return build_l2(l2_config)
+
+
+def test_bench_comparators(run_once, show):
+    def sweep():
+        rows = []
+        for bench in BENCHMARKS:
+            for org_name, l2_config in _organizations().items():
+                workload = build_workload(bench, num_accesses=TRACE, seed=0)
+                l2 = _build(l2_config)
+                replay_through_l1(workload, l2.access)
+                rows.append([
+                    bench,
+                    org_name,
+                    round(l2.stats.hit_rate, 3),
+                    getattr(l2, "refresh_writes", 0),
+                    getattr(l2, "expiry_invalidations", 0),
+                    getattr(l2, "data_losses", 0),
+                    round(l2.energy.total_j * 1e6, 2),
+                ])
+        return rows
+
+    rows = run_once(sweep)
+    show()
+    show(format_table(
+        ["benchmark", "organization", "l2_hit", "refreshes",
+         "expiry_inval", "losses", "dynamic_uJ"],
+        rows,
+    ))
+
+    by_key = {(r[0], r[1]): r for r in rows}
+    for bench in BENCHMARKS:
+        naive = by_key[(bench, "stt-naive")]
+        slow = by_key[(bench, "relaxed-40ms")]
+        fast = by_key[(bench, "relaxed-40us")]
+        twopart = by_key[(bench, "twopart(C1)")]
+        ewt = by_key[(bench, "twopart+EWT")]
+        hybrid = by_key[(bench, "hybrid-sramLR")]
+        # relaxing retention uniformly cuts dynamic energy vs naive...
+        assert slow[6] < naive[6]
+        # ...but the two-part design undercuts it again (cheap WWS writes)
+        assert twopart[6] < slow[6]
+        # uniformly short retention damages the hit rate via expiry...
+        assert fast[2] < twopart[2]
+        # ...and refreshes more than the confined LR part
+        assert twopart[3] < fast[3]
+        # EWT stacks a further dynamic-energy cut on top of C1
+        assert ewt[6] < twopart[6]
+        # the hybrid's SRAM LR needs no refresh at all
+        assert hybrid[3] == 0
+        # no organization may silently lose data
+        assert twopart[5] == 0 and slow[5] == 0 and fast[5] == 0
+        assert hybrid[5] == 0

@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 1 (STT-RAM retention levels)."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(run_once, show):
+    result = run_once(table1.run)
+    show()
+    show(result.render())
+    # paper trend: relaxing retention cuts write latency and energy
+    assert result.extras["we_ratio_10year_over_lr"] > 2.0
+    assert result.extras["wl_ratio_10year_over_lr"] > 2.0
+    levels = result.column("level")
+    assert levels == ["10year", "hr", "lr"]

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 2 (simulated configurations)."""
+
+from repro.experiments import table2
+
+
+def test_bench_table2(run_once, show):
+    result = run_once(table2.run)
+    show()
+    show(result.render())
+    # the area-equivalence premise: 4x STT-RAM fits in the SRAM footprint
+    assert result.extras["c1_area_over_sram"] < 1.15
+    assert result.extras["stt_area_over_sram"] < 1.15
+    assert len(result.rows) == 5

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the two-part L2 as a component.
+
+Sweeps the two architectural knobs the paper fixes — LR capacity share and
+the migration write threshold — on one write-skewed benchmark and prints how
+LR write absorption, migration traffic and L2 dynamic energy move.  This is
+the workflow a downstream architect would use to re-tune the design for a
+different GPU.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.core import TwoPartSTTL2
+from repro.experiments.common import replay_through_l1
+from repro.units import KB
+from repro.workloads import build_workload
+
+TOTAL_CAPACITY = 1536 * KB
+LINE = 256
+
+
+def lr_share_sweep(workload_name: str = "bfs") -> None:
+    """How much of the 1536 KB budget should be low-retention?"""
+    print(f"-- LR capacity share sweep ({workload_name}, total 1536 KB) --")
+    rows = []
+    for lr_kb in (48, 96, 192, 384):
+        hr_kb = TOTAL_CAPACITY // KB - lr_kb
+        # keep HR 7-way-compatible by rounding to the line*way granularity
+        workload = build_workload(workload_name, num_accesses=12_000, seed=0)
+        l2 = TwoPartSTTL2(
+            hr_capacity_bytes=hr_kb * KB - (hr_kb * KB) % (7 * LINE),
+            hr_associativity=7,
+            lr_capacity_bytes=lr_kb * KB,
+            lr_associativity=2,
+        )
+        replay_through_l1(workload, l2.access)
+        rows.append([
+            f"{lr_kb}KB",
+            round(l2.lr_write_share, 3),
+            l2.migrations_to_lr,
+            round(l2.stats.hit_rate, 3),
+            round(l2.energy.total_j * 1e6, 2),
+        ])
+    print(format_table(
+        ["LR size", "lr_write_share", "migrations", "l2_hit_rate", "dyn_uJ"],
+        rows,
+    ))
+
+
+def threshold_sweep(workload_name: str = "bfs") -> None:
+    """Reproduce the paper's TH=1 argument interactively."""
+    print(f"\n-- migration threshold sweep ({workload_name}, C1 geometry) --")
+    rows = []
+    for threshold in (1, 2, 3, 7, 15):
+        workload = build_workload(workload_name, num_accesses=12_000, seed=0)
+        l2 = TwoPartSTTL2(
+            hr_capacity_bytes=1344 * KB,
+            hr_associativity=7,
+            lr_capacity_bytes=192 * KB,
+            lr_associativity=2,
+            write_threshold=threshold,
+        )
+        replay_through_l1(workload, l2.access)
+        rows.append([
+            threshold,
+            round(l2.lr_write_share, 3),
+            l2.migrations_to_lr,
+            l2.total_data_writes,
+            round(l2.energy.total_j * 1e6, 2),
+        ])
+    print(format_table(
+        ["threshold", "lr_write_share", "migrations", "data_writes", "dyn_uJ"],
+        rows,
+    ))
+    print("\nTH=1 maximizes LR write absorption at negligible extra write "
+          "traffic — the paper's justification for using the dirty bit as "
+          "the whole WWS monitor.")
+
+
+def main() -> None:
+    lr_share_sweep()
+    threshold_sweep()
+
+
+if __name__ == "__main__":
+    main()

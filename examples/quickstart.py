@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Quickstart: compare the SRAM baseline with the paper's C1 architecture.
+
+Runs one cache-friendly benchmark (bfs) on the SRAM baseline and on C1 (the
+two-part STT-RAM L2 at 4x capacity in the same area) and prints the
+comparison the paper's abstract headlines: higher IPC, lower total L2 power.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import baseline_sram, build_workload, config_c1, simulate
+
+
+def main() -> None:
+    workload = build_workload("bfs", num_accesses=20_000, seed=0)
+    print(f"workload: {workload.name} "
+          f"({workload.num_accesses} accesses, "
+          f"{workload.trace.write_fraction:.0%} writes)")
+
+    base = simulate(baseline_sram(), workload)
+    c1 = simulate(config_c1(), workload)
+
+    print(f"\n{'metric':<24}{'SRAM baseline':>16}{'C1 (two-part STT)':>20}")
+    print("-" * 60)
+    print(f"{'IPC':<24}{base.ipc:>16.1f}{c1.ipc:>20.1f}")
+    print(f"{'L2 hit rate':<24}{base.l2_hit_rate:>16.3f}{c1.l2_hit_rate:>20.3f}")
+    print(f"{'L2 dynamic power (W)':<24}{base.l2_dynamic_power_w:>16.3f}"
+          f"{c1.l2_dynamic_power_w:>20.3f}")
+    print(f"{'L2 leakage power (W)':<24}{base.l2_leakage_power_w:>16.3f}"
+          f"{c1.l2_leakage_power_w:>20.3f}")
+    print(f"{'L2 total power (W)':<24}{base.l2_total_power_w:>16.3f}"
+          f"{c1.l2_total_power_w:>20.3f}")
+
+    print(f"\nC1 speedup over baseline : {c1.speedup_over(base):.2f}x")
+    print(f"C1 total L2 power ratio  : {c1.total_power_ratio(base):.2f}x")
+    assert c1.lr_write_share is not None
+    print(f"writes absorbed by LR    : {c1.lr_write_share:.0%}")
+    print(f"HR->LR migrations        : {c1.migrations_to_lr}")
+
+
+if __name__ == "__main__":
+    main()

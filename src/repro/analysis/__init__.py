@@ -1,0 +1,32 @@
+"""Workload/cache characterization analyses (the paper's section 4)."""
+
+from repro.analysis.cov import WriteVariation, write_variation
+from repro.analysis.wws import WWSWindow, write_working_set
+from repro.analysis.intervals import (
+    REWRITE_BUCKETS,
+    RewriteDistribution,
+    rewrite_interval_distribution,
+)
+from repro.analysis.lifetime import (
+    DEFAULT_ENDURANCE_WRITES,
+    LifetimeReport,
+    lifetime_report,
+    relative_lifetime,
+)
+from repro.analysis.tables import format_table, to_csv
+
+__all__ = [
+    "WriteVariation",
+    "write_variation",
+    "WWSWindow",
+    "write_working_set",
+    "REWRITE_BUCKETS",
+    "RewriteDistribution",
+    "rewrite_interval_distribution",
+    "DEFAULT_ENDURANCE_WRITES",
+    "LifetimeReport",
+    "lifetime_report",
+    "relative_lifetime",
+    "format_table",
+    "to_csv",
+]

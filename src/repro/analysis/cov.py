@@ -1,0 +1,67 @@
+"""Inter- and intra-set write variation (the paper's Fig. 3).
+
+Following Wang et al. (i2WAP, HPCA'13 — the paper's ref [15]), write
+imbalance is quantified with the coefficient of variation (COV = standard
+deviation / mean, reported in percent):
+
+* **inter-set** — COV of total write counts across cache sets;
+* **intra-set** — COV of write counts across the ways of one set, averaged
+  over sets with any writes.
+
+High COV motivates the LR part: a few blocks take most writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.cache.array import SetAssociativeCache
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class WriteVariation:
+    """COV results for one cache after a run."""
+
+    inter_set_cov: float
+    intra_set_cov: float
+    total_writes: int
+
+    def as_percentages(self) -> dict:
+        """COVs in percent (how the paper's Fig. 3 axis is labelled)."""
+        return {
+            "inter_set_pct": self.inter_set_cov * 100.0,
+            "intra_set_pct": self.intra_set_cov * 100.0,
+        }
+
+
+def _cov(values: Sequence[float]) -> float:
+    arr = np.asarray(values, dtype=np.float64)
+    mean = arr.mean()
+    if mean == 0:
+        return 0.0
+    return float(arr.std() / mean)
+
+
+def write_variation(cache: SetAssociativeCache) -> WriteVariation:
+    """Compute inter/intra-set write COV from a cache's write counters.
+
+    Inter-set uses the cumulative per-set write counts; intra-set uses the
+    current residents' per-way write counts (an approximation of per-frame
+    counts that matches how the counters are observable in hardware).
+    """
+    per_set = cache.per_set_write_counts()
+    total = sum(per_set)
+    if total == 0:
+        raise AnalysisError("no writes were recorded; COV is undefined")
+    inter = _cov(per_set)
+
+    intra_covs: List[float] = []
+    for way_counts in cache.per_way_write_counts():
+        if sum(way_counts) > 0:
+            intra_covs.append(_cov(way_counts))
+    intra = float(np.mean(intra_covs)) if intra_covs else 0.0
+    return WriteVariation(inter_set_cov=inter, intra_set_cov=intra, total_writes=total)

@@ -1,0 +1,64 @@
+"""Rewrite-interval distribution (the paper's Fig. 6).
+
+The paper buckets the time between successive writes to the same LR block
+into <=1 us / <=5 us / <=10 us / <=1 ms / >2.5 ms bins and observes that
+most LR rewrites land under 10 us — the justification for microsecond-scale
+LR retention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.units import MS, US
+
+#: (label, upper bound in seconds); the last bucket is open-ended.
+REWRITE_BUCKETS: Tuple[Tuple[str, float], ...] = (
+    ("<=1us", 1 * US),
+    ("<=5us", 5 * US),
+    ("<=10us", 10 * US),
+    ("<=1ms", 1 * MS),
+    ("<=2.5ms", 2.5 * MS),
+    (">2.5ms", float("inf")),
+)
+
+
+@dataclass(frozen=True)
+class RewriteDistribution:
+    """Bucketed rewrite intervals for one run."""
+
+    counts: Dict[str, int]
+    total: int
+
+    def fractions(self) -> Dict[str, float]:
+        """Bucket shares (sum to 1 when total > 0)."""
+        if self.total == 0:
+            return {label: 0.0 for label, _ in REWRITE_BUCKETS}
+        return {label: self.counts[label] / self.total for label, _ in REWRITE_BUCKETS}
+
+    def fraction_under(self, seconds: float) -> float:
+        """Share of intervals at or below ``seconds`` (bucket-resolution)."""
+        if self.total == 0:
+            return 0.0
+        covered = 0
+        for label, bound in REWRITE_BUCKETS:
+            if bound <= seconds:
+                covered += self.counts[label]
+        return covered / self.total
+
+
+def rewrite_interval_distribution(intervals_s: Sequence[float]) -> RewriteDistribution:
+    """Bucket raw rewrite intervals (seconds) into the paper's bins."""
+    counts = {label: 0 for label, _ in REWRITE_BUCKETS}
+    total = 0
+    for interval in intervals_s:
+        if interval < 0:
+            raise AnalysisError(f"negative rewrite interval {interval}")
+        total += 1
+        for label, bound in REWRITE_BUCKETS:
+            if interval <= bound:
+                counts[label] += 1
+                break
+    return RewriteDistribution(counts=counts, total=total)

@@ -1,0 +1,77 @@
+"""ASCII bar charts — figure-like terminal rendering for the experiments.
+
+The paper's figures are bar charts; matplotlib is out of scope for an
+offline terminal workflow, so this renders horizontal unicode bars.  Used by
+the CLI's ``--bars`` flag to display Fig. 8-style columns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import AnalysisError
+
+FULL_BLOCK = "█"
+PARTIAL_BLOCKS = ["", "▏", "▎", "▍", "▌",
+                  "▋", "▊", "▉"]
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    cells = value / scale * width
+    full = int(cells)
+    partial = int((cells - full) * 8)
+    return FULL_BLOCK * full + PARTIAL_BLOCKS[partial]
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    reference: Optional[float] = None,
+    precision: int = 2,
+) -> str:
+    """Render one horizontal bar per (label, value).
+
+    ``reference`` draws a tick at that value (e.g. 1.0 for normalized
+    figures) so over/under-unity bars are readable at a glance.
+    """
+    if len(labels) != len(values):
+        raise AnalysisError("labels and values must have equal length")
+    if not labels:
+        raise AnalysisError("nothing to plot")
+    if width <= 0:
+        raise AnalysisError("width must be positive")
+    if any(v < 0 for v in values):
+        raise AnalysisError("bar values must be non-negative")
+
+    scale = max(list(values) + ([reference] if reference else []))
+    if scale == 0:
+        scale = 1.0
+    label_width = max(len(str(label)) for label in labels)
+    ref_column = (
+        int(reference / scale * width) if reference is not None else None
+    )
+
+    lines: List[str] = []
+    for label, value in zip(labels, values):
+        bar = _bar(value, scale, width)
+        if ref_column is not None:
+            padded = list(bar.ljust(width + 1))
+            if ref_column < len(padded) and padded[ref_column] == " ":
+                padded[ref_column] = "|"
+            bar = "".join(padded).rstrip()
+        lines.append(
+            f"{str(label).rjust(label_width)}  {value:.{precision}f}  {bar}"
+        )
+    return "\n".join(lines)
+
+
+def bars_for_columns(
+    row_labels: Sequence[str],
+    column_label: str,
+    values: Sequence[float],
+    reference: Optional[float] = 1.0,
+) -> str:
+    """Titled bar block for one experiment column."""
+    body = ascii_bars(row_labels, values, reference=reference)
+    return f"-- {column_label} --\n{body}"

@@ -1,0 +1,44 @@
+"""ASCII table / CSV emitters shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell, precision: int) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    precision: int = 3,
+) -> str:
+    """Fixed-width ASCII table (the benches print these)."""
+    rendered: List[List[str]] = [
+        [_render(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in rendered)) if rendered
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence[Cell]]) -> str:
+    """Comma-separated rendering (no quoting; keep cells comma-free)."""
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(_render(cell, 6) for cell in row))
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Subarray-partitioning explorer (CACTI's core organization search).
+
+The flat models in :mod:`repro.areapower.sram`/:mod:`sttram_array` charge
+wire costs with a sqrt(area) H-tree approximation.  Real CACTI instead
+*searches* the array organization — how many subarrays to split a bank
+into — trading shorter wordlines/bitlines (faster, lower dynamic energy)
+against replicated periphery (more area, more leakage).  This module
+implements that search in its essential form:
+
+* the bank is split into ``2^k`` identical subarrays arranged in a near-
+  square grid; each subarray is ``rows x cols`` cells;
+* wordline/bitline delays follow distributed-RC (Elmore) scaling with
+  length squared; the H-tree to the selected subarray scales with the
+  grid's physical extent;
+* each access activates one subarray (fine-grained partitioning also cuts
+  dynamic energy);
+* the explorer returns the organization minimizing energy-delay product.
+
+It is used for *validation and exploration* (tests assert the classical
+trends; downstream users can study organizations) — the calibrated
+reproduction path keeps the flat model so the paper-shape calibration in
+EXPERIMENTS.md stays exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.areapower.technology import TECH_40NM, TechnologyNode
+from repro.errors import ConfigurationError
+from repro.units import FJ, NS, is_power_of_two
+
+#: Elmore-delay coefficient for a distributed RC wordline/bitline
+#: (seconds per cell-count squared) — calibrated so a 512-cell 40 nm
+#: bitline swings in ~0.5 ns.
+_RC_PER_CELL2 = 0.5e-9 / 512**2
+
+#: Periphery (decoder + sense amps + drivers) area per subarray, in units
+#: of SRAM-cell areas.
+_PERIPHERY_CELLS_PER_SUBARRAY = 6000.0
+
+#: Energy to activate one subarray's periphery per access.
+_PERIPHERY_ENERGY = 12.0 * FJ * 256
+
+
+@dataclass(frozen=True)
+class Organization:
+    """One candidate bank organization.
+
+    Attributes
+    ----------
+    num_subarrays:
+        Power-of-two subarray count.
+    rows / cols:
+        Cells per subarray.
+    access_delay_s / access_energy_j / area_m2 / leakage_w:
+        Derived figures for a full line access.
+    """
+
+    num_subarrays: int
+    rows: int
+    cols: int
+    access_delay_s: float
+    access_energy_j: float
+    area_m2: float
+    leakage_w: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product — the default objective."""
+        return self.access_delay_s * self.access_energy_j
+
+
+def _evaluate(
+    capacity_bytes: int,
+    line_bytes: int,
+    num_subarrays: int,
+    tech: TechnologyNode,
+) -> Organization:
+    total_bits = capacity_bytes * 8
+    bits_per_subarray = total_bits // num_subarrays
+    # near-square subarrays; a line is striped across the activated
+    # subarray's columns (column muxing handles narrower lines)
+    cols = 2 ** int(math.ceil(math.log2(math.sqrt(bits_per_subarray))))
+    cols = min(cols, bits_per_subarray)
+    rows = max(1, bits_per_subarray // cols)
+
+    cell_edge = math.sqrt(tech.sram_cell_area)
+    # distributed-RC delays grow with length^2 (cells traversed)
+    wordline_delay = _RC_PER_CELL2 * cols**2 * (tech.feature_size / 40e-9)
+    bitline_delay = _RC_PER_CELL2 * rows**2 * (tech.feature_size / 40e-9)
+    # H-tree to the selected subarray: half the grid perimeter
+    grid_dim = math.ceil(math.sqrt(num_subarrays))
+    subarray_edge = math.sqrt(rows * cols) * cell_edge
+    htree_mm = grid_dim * subarray_edge * 1e3
+    htree_delay = 0.10 * NS * htree_mm
+    decoder_delay = tech.fo4_delay * math.log2(max(2, rows * num_subarrays))
+    delay = wordline_delay + bitline_delay + htree_delay + decoder_delay
+
+    # energy: one subarray's bitlines swing + line transfer over the H-tree
+    bitline_energy = tech.sram_bit_read_energy * cols * (rows / 512.0)
+    htree_energy = 0.06e-12 * htree_mm * line_bytes * 8
+    energy = bitline_energy + htree_energy + _PERIPHERY_ENERGY
+
+    # area/leakage: cells + per-subarray periphery replication
+    cell_area = total_bits * tech.sram_cell_area
+    periphery_area = (
+        num_subarrays * _PERIPHERY_CELLS_PER_SUBARRAY * tech.sram_cell_area
+    )
+    leakage = (
+        total_bits * tech.sram_cell_leakage
+        + num_subarrays * _PERIPHERY_CELLS_PER_SUBARRAY * tech.sram_cell_leakage
+    )
+    return Organization(
+        num_subarrays=num_subarrays,
+        rows=rows,
+        cols=cols,
+        access_delay_s=delay,
+        access_energy_j=energy,
+        area_m2=cell_area + periphery_area,
+        leakage_w=leakage,
+    )
+
+
+def explore(
+    capacity_bytes: int,
+    line_bytes: int = 256,
+    tech: TechnologyNode = TECH_40NM,
+    max_subarrays: int = 256,
+) -> List[Organization]:
+    """Evaluate every power-of-two subarray count up to ``max_subarrays``."""
+    if capacity_bytes <= 0 or line_bytes <= 0:
+        raise ConfigurationError("capacity and line size must be positive")
+    if not is_power_of_two(max_subarrays):
+        raise ConfigurationError("max subarrays must be a power of two")
+    organizations: List[Organization] = []
+    count = 1
+    min_bits = line_bytes * 8
+    while count <= max_subarrays and capacity_bytes * 8 // count >= min_bits:  # noqa: E501 - guard keeps one line per subarray
+        organizations.append(_evaluate(capacity_bytes, line_bytes, count, tech))
+        count *= 2
+    if not organizations:
+        raise ConfigurationError(
+            f"{capacity_bytes}B cannot hold even one {line_bytes}B line"
+        )
+    return organizations
+
+
+def optimal_organization(
+    capacity_bytes: int,
+    line_bytes: int = 256,
+    tech: TechnologyNode = TECH_40NM,
+    max_subarrays: int = 256,
+    objective: str = "edp",
+) -> Organization:
+    """The optimal organization for a bank of ``capacity_bytes``.
+
+    ``objective`` is ``"edp"`` (energy-delay, CACTI's default flavour) or
+    ``"edap"`` (energy-delay-area, which penalizes periphery replication
+    and favours coarser partitioning).
+    """
+    organizations = explore(capacity_bytes, line_bytes, tech, max_subarrays)
+    if objective == "edp":
+        return min(organizations, key=lambda org: org.edp)
+    if objective == "edap":
+        return min(organizations, key=lambda org: org.edp * org.area_m2)
+    raise ConfigurationError(f"unknown objective {objective!r} (edp or edap)")

@@ -1,0 +1,107 @@
+"""SRAM array model (data or tag).
+
+Per-line read/write energies scale with the number of bits moved plus the
+H-tree cost of reaching the mats; leakage scales with capacity; area is cell
+area divided by an array efficiency factor (periphery overhead).  Calibrated
+against CACTI 6.5 outputs for multi-hundred-KB 40 nm arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.areapower.technology import TechnologyNode, TECH_40NM
+from repro.areapower.wire import WireModel
+from repro.errors import ConfigurationError
+from repro.units import NS
+
+#: Fraction of the array footprint occupied by storage cells (the rest is
+#: decoders, sense amps, drivers and routing).
+DEFAULT_ARRAY_EFFICIENCY = 0.7
+
+
+@dataclass(frozen=True)
+class SRAMArrayModel:
+    """Analytical model of one SRAM array.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Total storage.
+    access_bits:
+        Bits moved per access (a full line for data arrays, a tag record for
+        tag arrays).
+    tech:
+        Technology node.
+    wire:
+        Global wire model.
+    array_efficiency:
+        Cell-area fraction of the total footprint.
+    base_latency:
+        Decoder + sense latency floor (s), before wire delay.
+    """
+
+    capacity_bytes: int
+    access_bits: int
+    tech: TechnologyNode = TECH_40NM
+    wire: WireModel = field(default_factory=WireModel)
+    array_efficiency: float = DEFAULT_ARRAY_EFFICIENCY
+    base_latency: float = 0.5 * NS
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if self.access_bits <= 0:
+            raise ConfigurationError("access bits must be positive")
+        if not 0 < self.array_efficiency <= 1:
+            raise ConfigurationError("array efficiency must be in (0, 1]")
+        if self.base_latency < 0:
+            raise ConfigurationError("base latency must be non-negative")
+
+    # --- geometry -----------------------------------------------------------
+
+    @property
+    def area(self) -> float:
+        """Array footprint (m^2) including periphery."""
+        cells = self.capacity_bytes * 8
+        return cells * self.tech.sram_cell_area / self.array_efficiency
+
+    # --- energy --------------------------------------------------------------
+
+    @property
+    def read_energy(self) -> float:
+        """Dynamic energy (J) per read access."""
+        bit_energy = self.tech.sram_bit_read_energy * self.access_bits
+        return bit_energy + self.wire.energy(self.area, self.access_bits)
+
+    @property
+    def write_energy(self) -> float:
+        """Dynamic energy (J) per write access."""
+        bit_energy = self.tech.sram_bit_write_energy * self.access_bits
+        return bit_energy + self.wire.energy(self.area, self.access_bits)
+
+    # --- leakage ---------------------------------------------------------------
+
+    @property
+    def leakage_power(self) -> float:
+        """Static power (W) of the whole array (cells + periphery margin)."""
+        cell_leak = self.capacity_bytes * self.tech.sram_leakage_per_byte()
+        periphery_factor = 1.0 / self.array_efficiency
+        return cell_leak * periphery_factor
+
+    # --- latency --------------------------------------------------------------
+
+    @property
+    def access_latency(self) -> float:
+        """Access latency (s): decoder/sense floor + one H-tree traversal."""
+        return self.base_latency + self.wire.delay(self.area)
+
+    @property
+    def read_latency(self) -> float:
+        """Alias: SRAM reads and writes are symmetric."""
+        return self.access_latency
+
+    @property
+    def write_latency(self) -> float:
+        """Alias: SRAM reads and writes are symmetric."""
+        return self.access_latency

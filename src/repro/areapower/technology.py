@@ -1,0 +1,104 @@
+"""Technology-node parameters.
+
+Each :class:`TechnologyNode` carries the handful of process parameters the
+analytical cache model needs.  The 40 nm node matches the paper's Table 2
+("Technology node: 40nm"); 45 nm and 32 nm neighbours are provided for
+scaling studies.  Values are representative of published ITRS/CACTI data at
+those nodes, not foundry-exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import FJ, NS
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """Process parameters for the analytical cache model.
+
+    Attributes
+    ----------
+    name:
+        Display name, e.g. ``"40nm"``.
+    feature_size:
+        Feature size F (metres).
+    vdd:
+        Nominal supply voltage (volts).
+    sram_cell_area_f2:
+        6T SRAM cell area in F^2.
+    sram_bit_read_energy:
+        Dynamic energy to read one SRAM bit including local bitline swing (J).
+    sram_bit_write_energy:
+        Dynamic energy to write one SRAM bit (J).
+    sram_cell_leakage:
+        Leakage power of one 6T cell (W).
+    fo4_delay:
+        Fanout-of-4 inverter delay (s) — the unit of logic latency.
+    """
+
+    name: str
+    feature_size: float
+    vdd: float
+    sram_cell_area_f2: float = 125.0
+    sram_bit_read_energy: float = 24.0 * FJ
+    sram_bit_write_energy: float = 30.0 * FJ
+    sram_cell_leakage: float = 95e-9
+    fo4_delay: float = 0.015 * NS
+
+    def __post_init__(self) -> None:
+        if self.feature_size <= 0:
+            raise ConfigurationError("feature size must be positive")
+        if self.vdd <= 0:
+            raise ConfigurationError("vdd must be positive")
+        if self.sram_cell_area_f2 <= 0:
+            raise ConfigurationError("SRAM cell area must be positive")
+        if min(self.sram_bit_read_energy, self.sram_bit_write_energy) < 0:
+            raise ConfigurationError("bit energies must be non-negative")
+        if self.sram_cell_leakage < 0:
+            raise ConfigurationError("cell leakage must be non-negative")
+        if self.fo4_delay <= 0:
+            raise ConfigurationError("FO4 delay must be positive")
+
+    @property
+    def sram_cell_area(self) -> float:
+        """6T SRAM cell area (m^2)."""
+        return self.sram_cell_area_f2 * self.feature_size**2
+
+    def sram_leakage_per_byte(self) -> float:
+        """SRAM leakage (W) per byte of storage."""
+        return self.sram_cell_leakage * 8
+
+    def scaled(self, name: str, feature_size: float) -> "TechnologyNode":
+        """Derive a neighbouring node by classical scaling rules.
+
+        Area scales with F^2, dynamic energy roughly with F (voltage barely
+        scales at these nodes), leakage per cell grows ~1.6x per shrink step
+        (the paper's motivation: "leakage current increases by 10x per
+        technology node" across a couple of generations).
+        """
+        if feature_size <= 0:
+            raise ConfigurationError("feature size must be positive")
+        ratio = feature_size / self.feature_size
+        leak_ratio = (1.0 / ratio) ** 1.7 if ratio < 1 else ratio**1.7
+        leak = self.sram_cell_leakage * (leak_ratio if ratio < 1 else 1.0 / leak_ratio)
+        return TechnologyNode(
+            name=name,
+            feature_size=feature_size,
+            vdd=self.vdd,
+            sram_cell_area_f2=self.sram_cell_area_f2,
+            sram_bit_read_energy=self.sram_bit_read_energy * ratio,
+            sram_bit_write_energy=self.sram_bit_write_energy * ratio,
+            sram_cell_leakage=leak,
+            fo4_delay=self.fo4_delay * ratio,
+        )
+
+
+#: The paper's node.
+TECH_40NM = TechnologyNode(name="40nm", feature_size=40e-9, vdd=1.1)
+
+#: Neighbours for scaling studies.
+TECH_45NM = TECH_40NM.scaled("45nm", 45e-9)
+TECH_32NM = TECH_40NM.scaled("32nm", 32e-9)

@@ -1,0 +1,60 @@
+"""Global-wire (H-tree) delay and energy model.
+
+CACTI routes requests from the cache port to mats over an H-tree of global
+wires; for large arrays the wire delay and energy are a significant fraction
+of the access cost and grow with the square root of array area.  We model a
+repeated global wire with per-millimetre delay and energy constants typical
+of 40 nm metal stacks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import NS, PJ
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """Repeated global wire characteristics.
+
+    Attributes
+    ----------
+    delay_per_mm:
+        Signal propagation delay (s) per millimetre of repeated wire.
+    energy_per_mm_per_bit:
+        Switching energy (J) per bit per millimetre.
+    """
+
+    delay_per_mm: float = 0.10 * NS
+    energy_per_mm_per_bit: float = 0.06 * PJ
+
+    def __post_init__(self) -> None:
+        if self.delay_per_mm <= 0:
+            raise ConfigurationError("wire delay must be positive")
+        if self.energy_per_mm_per_bit < 0:
+            raise ConfigurationError("wire energy must be non-negative")
+
+    @staticmethod
+    def htree_length_mm(area_m2: float) -> float:
+        """Approximate H-tree route length (mm) for an array of given area.
+
+        Half the perimeter of the bounding square is the classical CACTI
+        approximation: ``2 * sqrt(area)``... we use ``sqrt(area)`` each way,
+        i.e. one traversal of the array diagonal dimension.
+        """
+        if area_m2 < 0:
+            raise ConfigurationError("area must be non-negative")
+        return math.sqrt(area_m2) * 1e3
+
+    def delay(self, area_m2: float) -> float:
+        """One-way H-tree delay (s) across an array of ``area_m2``."""
+        return self.delay_per_mm * self.htree_length_mm(area_m2)
+
+    def energy(self, area_m2: float, bits: int) -> float:
+        """H-tree switching energy (J) moving ``bits`` across the array."""
+        if bits < 0:
+            raise ConfigurationError("bit count must be non-negative")
+        return self.energy_per_mm_per_bit * self.htree_length_mm(area_m2) * bits

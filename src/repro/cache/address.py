@@ -1,0 +1,90 @@
+"""Address slicing: offset / set index / tag, and bank selection.
+
+Addresses are plain integers (byte addresses).  The mapper pre-computes
+shift/mask constants so the hot path is two shifts and a mask when the set
+count is a power of two; non-power-of-two set counts (the paper's 7-way HR
+part has 768 sets) fall back to divmod indexing, which hardware realizes
+with a small mod-3 reduction alongside the usual bit slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+from repro.units import is_power_of_two, log2_int
+
+
+@dataclass(frozen=True)
+class AddressMapper:
+    """Slices byte addresses for a cache of ``num_sets`` x ``line_size``.
+
+    Attributes
+    ----------
+    line_size:
+        Line size in bytes (power of two).
+    num_sets:
+        Number of sets (any positive count; powers of two use the fast
+        mask path).
+    """
+
+    line_size: int
+    num_sets: int
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.line_size):
+            raise GeometryError(f"line size must be a power of two, got {self.line_size}")
+        if self.num_sets <= 0:
+            raise GeometryError(f"set count must be positive, got {self.num_sets}")
+
+    @property
+    def offset_bits(self) -> int:
+        """Bits addressing bytes within a line."""
+        return log2_int(self.line_size)
+
+    @property
+    def pow2_sets(self) -> bool:
+        """True when the fast mask path applies."""
+        return is_power_of_two(self.num_sets)
+
+    def split(self, address: int) -> tuple:
+        """Return ``(tag, set_index)`` for a byte address."""
+        if address < 0:
+            raise GeometryError(f"address must be non-negative, got {address}")
+        line = address >> self.offset_bits
+        if self.pow2_sets:
+            return line >> log2_int(self.num_sets), line & (self.num_sets - 1)
+        return divmod(line, self.num_sets)[0], line % self.num_sets
+
+    def line_address(self, address: int) -> int:
+        """The line-aligned address containing ``address``."""
+        if address < 0:
+            raise GeometryError(f"address must be non-negative, got {address}")
+        return address & ~(self.line_size - 1)
+
+    def rebuild(self, tag: int, set_index: int) -> int:
+        """Inverse of :meth:`split`: reconstruct the line-aligned address."""
+        if not 0 <= set_index < self.num_sets:
+            raise GeometryError(f"set index {set_index} out of range")
+        if tag < 0:
+            raise GeometryError(f"tag must be non-negative, got {tag}")
+        if self.pow2_sets:
+            line = (tag << log2_int(self.num_sets)) | set_index
+        else:
+            line = tag * self.num_sets + set_index
+        return line << self.offset_bits
+
+
+def bank_index(address: int, line_size: int, num_banks: int) -> int:
+    """Low-order line-interleaved bank hash (GPU L2 style).
+
+    Consecutive lines map to consecutive banks, spreading streaming traffic
+    evenly — the standard GPU L2 interleaving.
+    """
+    if not is_power_of_two(num_banks):
+        raise GeometryError(f"bank count must be a power of two, got {num_banks}")
+    if not is_power_of_two(line_size):
+        raise GeometryError(f"line size must be a power of two, got {line_size}")
+    if address < 0:
+        raise GeometryError(f"address must be non-negative, got {address}")
+    return (address >> log2_int(line_size)) & (num_banks - 1)

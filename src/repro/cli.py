@@ -1,0 +1,146 @@
+"""Command-line interface: ``repro-sttgpu``.
+
+Subcommands
+-----------
+``experiments``
+    Run paper experiments (all by default, or a named subset) and print the
+    regenerated tables.
+``simulate``
+    Run one benchmark on one configuration and print the result.
+``configs``
+    Print Table 2 (the five simulated systems).
+``suite``
+    List the benchmark suite with per-benchmark characteristics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import all_configs
+from repro.experiments.common import DEFAULT_TRACE_LENGTH
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.gpu.simulator import simulate
+from repro.workloads.profiles import PROFILES
+from repro.workloads.suite import build_workload, suite_names
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    results = {}
+    for name in args.names or list(EXPERIMENTS):
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; choose from {EXPERIMENTS}",
+                  file=sys.stderr)
+            return 2
+        result = run_experiment(
+            name,
+            trace_length=args.trace_length,
+            benchmarks=args.benchmarks,
+            seed=args.seed,
+        )
+        results[name] = result
+        print(result.render())
+        if args.bars:
+            bars = result.render_bars()
+            if bars:
+                print()
+                print(bars)
+        print()
+    if args.json:
+        from repro.io import save_experiments
+
+        save_experiments(results, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    configs = all_configs()
+    if args.config not in configs:
+        print(f"unknown config {args.config!r}; choose from {sorted(configs)}",
+              file=sys.stderr)
+        return 2
+    workload = build_workload(
+        args.benchmark, num_accesses=args.trace_length, seed=args.seed
+    )
+    result = simulate(configs[args.config], workload)
+    print(f"benchmark      : {result.workload}")
+    print(f"config         : {result.config}")
+    print(f"IPC            : {result.ipc:.2f} (bound by {result.bound_by})")
+    print(f"warps/SM       : {result.warps_per_sm} (limited by {result.occupancy_limiter})")
+    print(f"L1 hit rate    : {result.l1_hit_rate:.3f}")
+    print(f"L2 hit rate    : {result.l2_hit_rate:.3f}")
+    print(f"DRAM accesses  : {result.dram_accesses}")
+    print(f"L2 dynamic W   : {result.l2_dynamic_power_w:.4f}")
+    print(f"L2 leakage W   : {result.l2_leakage_power_w:.4f}")
+    print(f"L2 total W     : {result.l2_total_power_w:.4f}")
+    if result.lr_write_share is not None:
+        print(f"LR write share : {result.lr_write_share:.3f}")
+        print(f"migrations->LR : {result.migrations_to_lr}")
+    return 0
+
+
+def _cmd_configs(_args: argparse.Namespace) -> int:
+    from repro.config import render_table2
+
+    print(render_table2())
+    return 0
+
+
+def _cmd_suite(_args: argparse.Namespace) -> int:
+    print(f"{'benchmark':<15}{'region':<8}{'writes':<8}description")
+    print("-" * 78)
+    for name in suite_names():
+        profile = PROFILES[name]
+        print(
+            f"{name:<15}{profile.region:<8}"
+            f"{profile.write_fraction:<8.2f}{profile.description}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sttgpu",
+        description="STT-RAM GPU last-level cache reproduction (DAC 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_exp.add_argument("names", nargs="*", help=f"subset of {EXPERIMENTS}")
+    p_exp.add_argument("--trace-length", type=int, default=DEFAULT_TRACE_LENGTH)
+    p_exp.add_argument("--benchmarks", nargs="*", default=None)
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--json", metavar="FILE", default=None,
+                       help="also write results to FILE as JSON")
+    p_exp.add_argument("--bars", action="store_true",
+                       help="also render ASCII bar charts per column")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_sim = sub.add_parser("simulate", help="run one benchmark on one config")
+    p_sim.add_argument("benchmark", choices=suite_names())
+    p_sim.add_argument("config", help="baseline | stt-baseline | C1 | C2 | C3")
+    p_sim.add_argument("--trace-length", type=int, default=DEFAULT_TRACE_LENGTH)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_cfg = sub.add_parser("configs", help="print Table 2")
+    p_cfg.set_defaults(func=_cmd_configs)
+
+    p_suite = sub.add_parser("suite", help="list the benchmark suite")
+    p_suite.set_defaults(func=_cmd_suite)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Common L2 interface shared by baselines and the two-part architecture.
+
+The GPU simulator talks to *any* L2 through :class:`L2Interface`; per-access
+results carry the latency/energy the access cost and whether DRAM traffic
+(fetch or write-back) was generated, so the memory-side models stay outside
+the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cache.stats import CacheStats
+
+
+@dataclass
+class L2AccessResult:
+    """Outcome of one L2 access.
+
+    Attributes
+    ----------
+    hit:
+        Demand hit anywhere in the L2.
+    part:
+        ``"lr"``, ``"hr"``, ``"uniform"`` or ``"miss"`` — where the access
+        was served.
+    latency_s:
+        Access service latency (tag probes + data array), excluding DRAM.
+    energy_j:
+        Dynamic energy charged to this access (probes, data movement,
+        migrations it triggered).
+    dram_fetch:
+        True when the access missed and a line must be fetched from DRAM.
+    dram_writebacks:
+        Number of dirty lines this access pushed to DRAM (evictions,
+        buffer overflows, expiry write-backs).
+    probes:
+        Number of tag-array probes performed (sequential search statistics).
+    migrated:
+        True when the access triggered an HR->LR migration.
+    """
+
+    hit: bool
+    part: str
+    latency_s: float
+    energy_j: float
+    dram_fetch: bool = False
+    dram_writebacks: int = 0
+    probes: int = 1
+    migrated: bool = False
+
+
+@dataclass
+class EnergyLedger:
+    """Cumulative dynamic-energy bookkeeping for one L2 instance."""
+
+    demand_j: float = 0.0
+    migration_j: float = 0.0
+    refresh_j: float = 0.0
+    fill_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        """All dynamic energy spent so far."""
+        return self.demand_j + self.migration_j + self.refresh_j + self.fill_j
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten for reporting."""
+        return {
+            "demand_j": self.demand_j,
+            "migration_j": self.migration_j,
+            "refresh_j": self.refresh_j,
+            "fill_j": self.fill_j,
+            "total_j": self.total_j,
+        }
+
+
+class L2Interface:
+    """Protocol-style base class for L2 implementations.
+
+    Subclasses must implement :meth:`access` and :meth:`fill_from_dram` and
+    expose ``stats`` (merged :class:`CacheStats`), ``energy``
+    (:class:`EnergyLedger`), ``leakage_power`` (W) and ``area`` (m^2).
+    """
+
+    name: str = "l2"
+
+    def access(self, address: int, is_write: bool, now: float) -> L2AccessResult:
+        """Serve a demand access at simulated time ``now`` (seconds)."""
+        raise NotImplementedError
+
+    def fill_from_dram(self, address: int, now: float, dirty: bool = False) -> L2AccessResult:
+        """Install a line fetched from DRAM (miss completion)."""
+        raise NotImplementedError
+
+    def maintenance(self, now: float) -> int:
+        """Run background work (refresh/expiry) up to ``now``.
+
+        Returns the number of DRAM write-backs generated.  Default: none.
+        """
+        return 0
+
+    def dirty_lines(self) -> int:
+        """Dirty lines currently resident (eventual write-back debt).
+
+        The simulator adds these to the DRAM write traffic at end of run so
+        short traces don't credit large caches with write absorption they
+        only defer (steady-state correction).
+        """
+        raise NotImplementedError
+
+    @property
+    def stats(self) -> CacheStats:
+        raise NotImplementedError
+
+    @property
+    def energy(self) -> EnergyLedger:
+        raise NotImplementedError
+
+    @property
+    def leakage_power(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def area(self) -> float:
+        raise NotImplementedError

@@ -1,0 +1,127 @@
+"""Refresh engine for the relaxed-retention arrays.
+
+LR lines are refreshed through the LR->HR buffer "in the last cycles of the
+retention period" (read the line into the buffer, write it back into LR,
+restarting its retention clock).  HR lines are *not* refreshed: a line that
+reaches its (ms-scale) retention limit is simply invalidated, or written
+back to DRAM first if dirty — the paper argues such lines are rare because
+>90% of HR rewrites land inside the retention window.
+
+Scanning is amortized: one sweep per retention-counter tick, driven by the
+owning cache's ``maintenance(now)`` calls.  A line's retention clock starts
+whenever its cells were last written — fill, demand write, or refresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cache.array import SetAssociativeCache
+from repro.cache.block import CacheBlock
+from repro.core.retention_counter import RetentionCounterSpec
+
+
+def cell_age(block: CacheBlock, now: float) -> float:
+    """Seconds since the block's cells were last written.
+
+    The retention clock restarts on fill (the fill writes every cell) and on
+    every demand write or refresh.
+    """
+    last = max(block.insert_time, block.last_write_time)
+    return now - last
+
+
+@dataclass
+class RefreshStats:
+    """Refresh/expiry event counters."""
+
+    scans: int = 0
+    lr_refreshes: int = 0
+    lr_expiries: int = 0
+    lr_overflow_writebacks: int = 0
+    hr_expirations_clean: int = 0
+    hr_expirations_dirty: int = 0
+
+
+@dataclass
+class RefreshActions:
+    """What one maintenance sweep decided.
+
+    ``lr_refresh`` — LR line addresses to refresh (charge read+write).
+    ``lr_lost`` — LR lines that expired before refresh (invalidate; rare).
+    ``hr_drop_clean`` / ``hr_drop_dirty`` — HR lines past retention.
+    """
+
+    lr_refresh: List[int] = field(default_factory=list)
+    lr_lost: List[int] = field(default_factory=list)
+    hr_drop_clean: List[int] = field(default_factory=list)
+    hr_drop_dirty: List[int] = field(default_factory=list)
+
+
+class RefreshEngine:
+    """Periodic retention sweeps over the LR and HR arrays."""
+
+    def __init__(
+        self,
+        lr_array: SetAssociativeCache,
+        hr_array: SetAssociativeCache,
+        lr_spec: Optional[RetentionCounterSpec],
+        hr_spec: RetentionCounterSpec,
+    ) -> None:
+        """``lr_spec=None`` disables LR sweeps (an SRAM LR part never
+        expires — the hybrid organization of the paper's ref [16])."""
+        self.lr_array = lr_array
+        self.hr_array = hr_array
+        self.lr_spec = lr_spec
+        self.hr_spec = hr_spec
+        self._next_lr_scan = lr_spec.tick_s if lr_spec is not None else float("inf")
+        self._next_hr_scan = hr_spec.tick_s
+        self.stats = RefreshStats()
+
+    def due(self, now: float) -> bool:
+        """Is any sweep due at time ``now``?"""
+        return now >= self._next_lr_scan or now >= self._next_hr_scan
+
+    def sweep(self, now: float) -> RefreshActions:
+        """Run all due sweeps; returns the decisions for the owner to apply."""
+        actions = RefreshActions()
+        if self.lr_spec is not None and now >= self._next_lr_scan:
+            self._sweep_lr(now, actions)
+            self._next_lr_scan = now + self.lr_spec.tick_s
+        if now >= self._next_hr_scan:
+            self._sweep_hr(now, actions)
+            self._next_hr_scan = now + self.hr_spec.tick_s
+        return actions
+
+    def _sweep_lr(self, now: float, actions: RefreshActions) -> None:
+        self.stats.scans += 1
+        spec = self.lr_spec
+        assert spec is not None  # caller guards
+        for index, _, block in self.lr_array.iter_blocks():
+            if not block.valid:
+                continue
+            age = cell_age(block, now)
+            if spec.expired(age):
+                actions.lr_lost.append(self.lr_array.mapper.rebuild(block.tag, index))
+                self.stats.lr_expiries += 1
+            elif spec.needs_refresh(age):
+                actions.lr_refresh.append(
+                    self.lr_array.mapper.rebuild(block.tag, index)
+                )
+                self.stats.lr_refreshes += 1
+
+    def _sweep_hr(self, now: float, actions: RefreshActions) -> None:
+        spec = self.hr_spec
+        for index, _, block in self.hr_array.iter_blocks():
+            if not block.valid:
+                continue
+            age = cell_age(block, now)
+            if spec.needs_refresh(age) or spec.expired(age):
+                address = self.hr_array.mapper.rebuild(block.tag, index)
+                if block.dirty:
+                    actions.hr_drop_dirty.append(address)
+                    self.stats.hr_expirations_dirty += 1
+                else:
+                    actions.hr_drop_clean.append(address)
+                    self.stats.hr_expirations_clean += 1

@@ -1,0 +1,79 @@
+"""Cache search selector: sequential (energy-saving) vs parallel lookup.
+
+With two parallel L2 arrays every access could probe both tag arrays at
+once (fast, but both probes always burn energy) or probe them sequentially
+(second probe only on a first-probe miss).  The paper's selector picks the
+*order* by access type: writes are expected in LR (the WWS lives there), so
+writes probe LR first; reads probe HR first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class SearchStats:
+    """Probe accounting."""
+
+    accesses: int = 0
+    first_probe_hits: int = 0
+    second_probes: int = 0
+
+    @property
+    def first_hit_rate(self) -> float:
+        """How often the predicted part held the line."""
+        return self.first_probe_hits / self.accesses if self.accesses else 0.0
+
+
+class SearchSelector:
+    """Chooses probe order and accounts probe counts/energy.
+
+    Parameters
+    ----------
+    sequential:
+        True for the paper's sequential search; False probes both parts in
+        parallel.
+    """
+
+    #: probe orders by access type (paper section 5)
+    WRITE_ORDER: Tuple[str, str] = ("lr", "hr")
+    READ_ORDER: Tuple[str, str] = ("hr", "lr")
+
+    def __init__(self, sequential: bool = True) -> None:
+        self.sequential = sequential
+        self.stats = SearchStats()
+
+    def probe_order(self, is_write: bool) -> Tuple[str, str]:
+        """The order in which the two parts are probed."""
+        return self.WRITE_ORDER if is_write else self.READ_ORDER
+
+    def record(self, is_write: bool, hit_part: str) -> int:
+        """Account one access; returns the number of tag probes performed.
+
+        ``hit_part`` is ``"lr"``, ``"hr"`` or ``"miss"``.
+        """
+        if hit_part not in ("lr", "hr", "miss"):
+            raise ConfigurationError(f"unknown hit part {hit_part!r}")
+        self.stats.accesses += 1
+        if not self.sequential:
+            # parallel search always probes both arrays
+            if hit_part == self.probe_order(is_write)[0]:
+                self.stats.first_probe_hits += 1
+            self.stats.second_probes += 1
+            return 2
+        first, _ = self.probe_order(is_write)
+        if hit_part == first:
+            self.stats.first_probe_hits += 1
+            return 1
+        self.stats.second_probes += 1
+        return 2
+
+    def latency_factor(self, probes: int) -> int:
+        """Serialized tag lookups for sequential search (1 for parallel)."""
+        if probes < 1:
+            raise ConfigurationError("at least one probe is required")
+        return probes if self.sequential else 1

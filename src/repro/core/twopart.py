@@ -1,0 +1,413 @@
+"""The proposed two-part (LR + HR) STT-RAM L2 cache.
+
+Architecture recap (paper section 5):
+
+* Two parallel arrays: a large **HR** part (high retention, 7-way in the
+  paper) and a small **LR** part (low retention, 2-way) with swap buffers
+  between them.
+* A write hit on an HR line whose write counter has reached the threshold
+  (default 1 — the modified bit) *migrates* the line to LR; the incoming
+  write is performed in LR.  Lines evicted from LR return to HR through the
+  LR->HR buffer.
+* Misses fill into HR (a first write is "single write traffic into the HR
+  part").
+* Sequential search: writes probe LR tags first, reads probe HR tags first;
+  the second array is probed only on a first-probe miss.
+* Retention counters drive LR refresh (through the LR->HR buffer) and HR
+  expiry (invalidate clean / write back dirty) — see
+  :mod:`repro.core.refresh`.
+
+The behavioural state (which line lives where) is updated eagerly; the swap
+buffers model drain-port timing and overflow-to-DRAM behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.areapower.cache_model import CacheEnergyModel
+from repro.areapower.technology import TECH_40NM, TechnologyNode
+from repro.cache.array import SetAssociativeCache
+from repro.cache.stats import CacheStats
+from repro.core.buffers import MigrationBuffer
+from repro.core.interface import EnergyLedger, L2AccessResult, L2Interface
+from repro.core.monitor import WWSMonitor
+from repro.core.refresh import RefreshEngine, cell_age
+from repro.core.retention_counter import RetentionCounterSpec
+from repro.core.search import SearchSelector
+from repro.errors import ConfigurationError
+from repro.sttram.ewt import EWTModel
+from repro.sttram.retention import retention_catalogue
+
+#: Retention-counter widths from the paper: 4-bit LR, 2-bit HR.
+LR_COUNTER_BITS = 4
+HR_COUNTER_BITS = 2
+
+
+class TwoPartSTTL2(L2Interface):
+    """The paper's two-part STT-RAM last-level cache."""
+
+    def __init__(
+        self,
+        hr_capacity_bytes: int,
+        hr_associativity: int,
+        lr_capacity_bytes: int,
+        lr_associativity: int,
+        line_size: int = 256,
+        write_threshold: int = 1,
+        hr_retention_s: float = 40e-3,
+        lr_retention_s: float = 40e-6,
+        buffer_lines: int = 20,
+        sequential_search: bool = True,
+        tech: TechnologyNode = TECH_40NM,
+        track_intervals: bool = True,
+        early_write_termination: bool = False,
+        lr_technology: str = "stt",
+        name: str = "twopart",
+    ) -> None:
+        if not 0 < lr_retention_s < hr_retention_s:
+            raise ConfigurationError("need 0 < LR retention < HR retention")
+        if lr_technology not in ("stt", "sram"):
+            raise ConfigurationError(
+                f"unknown LR technology {lr_technology!r} (stt or sram)"
+            )
+        self.name = name
+        self.line_size = line_size
+        #: "stt" is the paper's design; "sram" models the hybrid
+        #: SRAM+NVM organization of related work (Wu et al., ref [16])
+        self.lr_technology = lr_technology
+        levels = retention_catalogue(
+            hr_retention_s=hr_retention_s, lr_retention_s=lr_retention_s
+        )
+        ewt = EWTModel() if early_write_termination else None
+        self.monitor = WWSMonitor(threshold=write_threshold)
+        self.selector = SearchSelector(sequential=sequential_search)
+
+        self.hr_array = SetAssociativeCache(
+            hr_capacity_bytes, hr_associativity, line_size,
+            name=f"{name}-hr",
+            write_counter_saturation=self.monitor.saturation,
+        )
+        self.lr_array = SetAssociativeCache(
+            lr_capacity_bytes, lr_associativity, line_size, name=f"{name}-lr"
+        )
+        self.hr_model = CacheEnergyModel(
+            hr_capacity_bytes, hr_associativity, line_size,
+            sram_data=False, retention_level=levels["hr"],
+            extra_status_bits=HR_COUNTER_BITS + self.monitor.counter_bits,
+            tech=tech,
+            ewt=ewt,
+        )
+        lr_is_sram = lr_technology == "sram"
+        self.lr_model = CacheEnergyModel(
+            lr_capacity_bytes, lr_associativity, line_size,
+            sram_data=lr_is_sram,
+            retention_level=None if lr_is_sram else levels["lr"],
+            extra_status_bits=0 if lr_is_sram else LR_COUNTER_BITS,
+            tech=tech,
+            ewt=None if lr_is_sram else ewt,
+        )
+        # an SRAM LR part never expires and needs no retention counters
+        self.lr_spec = (
+            None if lr_is_sram
+            else RetentionCounterSpec(LR_COUNTER_BITS, lr_retention_s)
+        )
+        self.hr_spec = RetentionCounterSpec(HR_COUNTER_BITS, hr_retention_s)
+        self.refresh_engine = RefreshEngine(
+            self.lr_array, self.hr_array, self.lr_spec, self.hr_spec
+        )
+        self.hr_to_lr = MigrationBuffer(
+            buffer_lines, self.lr_model.data_array.write_latency, name="hr->lr"
+        )
+        self.lr_to_hr = MigrationBuffer(
+            buffer_lines, self.hr_model.data_array.write_latency, name="lr->hr"
+        )
+
+        self._energy = EnergyLedger()
+        #: data-array write operations per part (Fig. 4 inputs)
+        self.lr_data_writes = 0
+        self.hr_data_writes = 0
+        self.refresh_writes = 0
+        self.migrations_to_lr = 0
+        self.returns_to_hr = 0
+        self.dram_writebacks_total = 0
+        self.data_losses = 0
+        self.track_intervals = track_intervals
+        #: demand rewrite intervals observed in LR (Fig. 6 input), seconds
+        self.rewrite_intervals: List[float] = []
+
+    # ------------------------------------------------------------------
+    # location / expiry
+    # ------------------------------------------------------------------
+
+    def _locate(self, line: int, now: float) -> Optional[str]:
+        """Which part holds the line, invalidating expired residents."""
+        block = self.lr_array.block_at(line)
+        if block is not None:
+            if (
+                self.lr_spec is not None
+                and cell_age(block, now) >= self.lr_spec.retention_s
+            ):
+                if block.dirty:
+                    self.data_losses += 1
+                self.lr_array.invalidate(line)
+            else:
+                return "lr"
+        block = self.hr_array.block_at(line)
+        if block is not None:
+            if cell_age(block, now) >= self.hr_spec.retention_s:
+                if block.dirty:
+                    self.data_losses += 1
+                self.hr_array.invalidate(line)
+            else:
+                return "hr"
+        return None
+
+    # ------------------------------------------------------------------
+    # maintenance: buffer drains + retention sweeps
+    # ------------------------------------------------------------------
+
+    def maintenance(self, now: float) -> int:
+        """Drain buffers and run due retention sweeps; returns DRAM write-backs."""
+        self.hr_to_lr.drain_ready(now)
+        self.lr_to_hr.drain_ready(now)
+        writebacks = 0
+        if not self.refresh_engine.due(now):
+            return 0
+        actions = self.refresh_engine.sweep(now)
+        for address in actions.lr_refresh:
+            block = self.lr_array.block_at(address)
+            if block is None:
+                continue
+            # buffer-assisted refresh: read out, write back, clock restarts
+            block.insert_time = now
+            self._energy.refresh_j += (
+                self.lr_model.data_read_energy + self.lr_model.data_write_energy
+            )
+            self.refresh_writes += 1
+        for address in actions.lr_lost:
+            block = self.lr_array.block_at(address)
+            if block is not None and block.dirty:
+                self.data_losses += 1
+            self.lr_array.invalidate(address)
+        for address in actions.hr_drop_clean:
+            self.hr_array.invalidate(address)
+        for address in actions.hr_drop_dirty:
+            # forced write-back before the data decays
+            self._energy.refresh_j += self.hr_model.data_read_energy
+            self.hr_array.invalidate(address)
+            writebacks += 1
+        self.dram_writebacks_total += writebacks
+        return writebacks
+
+    # ------------------------------------------------------------------
+    # demand path
+    # ------------------------------------------------------------------
+
+    def access(self, address: int, is_write: bool, now: float) -> L2AccessResult:
+        line = self.hr_array.mapper.line_address(address)
+        writebacks = self.maintenance(now)
+        part = self._locate(line, now)
+        probes = self.selector.record(is_write, part or "miss")
+        energy = self._probe_energy(is_write, probes)
+        tag_latency = self.selector.latency_factor(probes) * (
+            self.hr_model.tag_array.access_latency
+        )
+
+        if part == "lr":
+            result = self._serve_lr(line, is_write, now, energy, tag_latency)
+        elif part == "hr":
+            result = self._serve_hr(line, is_write, now, energy, tag_latency)
+        else:
+            result = self._serve_miss(line, is_write, now, energy, tag_latency)
+        result.dram_writebacks += writebacks
+        result.probes = probes
+        return result
+
+    def _probe_energy(self, is_write: bool, probes: int) -> float:
+        order = self.selector.probe_order(is_write)
+        models: Dict[str, CacheEnergyModel] = {
+            "lr": self.lr_model, "hr": self.hr_model,
+        }
+        energy = models[order[0]].tag_probe_energy
+        if probes >= 2:
+            energy += models[order[1]].tag_probe_energy
+        return energy
+
+    def _serve_lr(
+        self, line: int, is_write: bool, now: float, energy: float, tag_latency: float
+    ) -> L2AccessResult:
+        if is_write and self.track_intervals:
+            block = self.lr_array.block_at(line)
+            if block is not None and block.last_write_time > 0:
+                self.rewrite_intervals.append(now - block.last_write_time)
+        self.lr_array.access(line, is_write, now)
+        if is_write:
+            energy += self.lr_model.data_write_energy
+            latency = tag_latency + self.lr_model.data_array.write_latency
+            self.lr_data_writes += 1
+        else:
+            energy += self.lr_model.data_read_energy
+            latency = tag_latency + self.lr_model.data_array.read_latency
+        self._energy.demand_j += energy
+        return L2AccessResult(hit=True, part="lr", latency_s=latency, energy_j=energy)
+
+    def _serve_hr(
+        self, line: int, is_write: bool, now: float, energy: float, tag_latency: float
+    ) -> L2AccessResult:
+        if not is_write:
+            self.hr_array.access(line, is_write, now)
+            energy += self.hr_model.data_read_energy
+            self._energy.demand_j += energy
+            return L2AccessResult(
+                hit=True, part="hr",
+                latency_s=tag_latency + self.hr_model.data_array.read_latency,
+                energy_j=energy,
+            )
+        block = self.hr_array.block_at(line)
+        assert block is not None
+        if self.monitor.should_migrate(block):
+            return self._migrate_and_write(line, now, energy, tag_latency)
+        # below threshold: the write is served by the HR array
+        self.hr_array.access(line, True, now)
+        energy += self.hr_model.data_write_energy
+        self.hr_data_writes += 1
+        self._energy.demand_j += energy
+        return L2AccessResult(
+            hit=True, part="hr",
+            latency_s=tag_latency + self.hr_model.data_array.write_latency,
+            energy_j=energy,
+        )
+
+    def _migrate_and_write(
+        self, line: int, now: float, energy: float, tag_latency: float
+    ) -> L2AccessResult:
+        """HR write hit above threshold: move the line to LR, write there."""
+        writebacks = 0
+        migration_energy = self.hr_model.data_read_energy  # read out of HR
+        # account the HR demand write-hit before the line leaves (keeps the
+        # merged hit/miss statistics exact)
+        self.hr_array.access(line, True, now)
+        self.hr_array.extract(line)
+        writebacks += self._buffer_push(self.hr_to_lr, line, True, now)
+        self.migrations_to_lr += 1
+
+        fill = self.lr_array.fill(line, now, dirty=True)
+        migration_energy += self.lr_model.data_write_energy
+        self.lr_data_writes += 1
+        if fill.evicted_address is not None:
+            writebacks += self._return_to_hr(
+                fill.evicted_address, fill.evicted_dirty, now
+            )
+        self._energy.demand_j += energy
+        self._energy.migration_j += migration_energy
+        return L2AccessResult(
+            hit=True, part="lr",
+            latency_s=tag_latency + self.lr_model.data_array.write_latency,
+            energy_j=energy + migration_energy,
+            dram_writebacks=writebacks,
+            migrated=True,
+        )
+
+    def _return_to_hr(self, victim_line: int, victim_dirty: bool, now: float) -> int:
+        """An LR eviction returns to HR through the LR->HR buffer."""
+        writebacks = 0
+        self._energy.migration_j += self.lr_model.data_read_energy
+        writebacks += self._buffer_push(self.lr_to_hr, victim_line, victim_dirty, now)
+        self.returns_to_hr += 1
+        outcome = self.hr_array.fill(victim_line, now, dirty=victim_dirty)
+        self._energy.migration_j += self.hr_model.data_write_energy
+        self.hr_data_writes += 1
+        if outcome.evicted_dirty:
+            writebacks += 1
+        self.dram_writebacks_total += writebacks
+        return writebacks
+
+    def _buffer_push(
+        self, buffer: MigrationBuffer, line: int, dirty: bool, now: float
+    ) -> int:
+        """Push into a swap buffer, forcing the oldest entry to DRAM if full."""
+        writebacks = 0
+        if buffer.full:
+            _, popped_dirty = buffer.force_pop()
+            if popped_dirty:
+                writebacks += 1
+                self.dram_writebacks_total += 1
+        buffer.push(line, dirty, now)
+        return writebacks
+
+    def _serve_miss(
+        self, line: int, is_write: bool, now: float, energy: float, tag_latency: float
+    ) -> L2AccessResult:
+        outcome = self.hr_array.access(line, is_write, now)
+        fill_energy = self.hr_model.fill_energy if outcome.filled else 0.0
+        if outcome.filled:
+            self.hr_data_writes += 1
+        writebacks = 1 if outcome.evicted_dirty else 0
+        self.dram_writebacks_total += writebacks
+        self._energy.demand_j += energy
+        self._energy.fill_j += fill_energy
+        return L2AccessResult(
+            hit=False, part="miss",
+            latency_s=tag_latency + self.hr_model.data_array.read_latency,
+            energy_j=energy + fill_energy,
+            dram_fetch=True,
+            dram_writebacks=writebacks,
+        )
+
+    def fill_from_dram(self, address: int, now: float, dirty: bool = False) -> L2AccessResult:
+        line = self.hr_array.mapper.line_address(address)
+        outcome = self.hr_array.fill(line, now, dirty=dirty)
+        fill_energy = self.hr_model.fill_energy if outcome.filled else 0.0
+        if outcome.filled:
+            self.hr_data_writes += 1
+        self._energy.fill_j += fill_energy
+        writebacks = 1 if outcome.evicted_dirty else 0
+        self.dram_writebacks_total += writebacks
+        return L2AccessResult(
+            hit=outcome.hit, part="hr",
+            latency_s=self.hr_model.data_array.write_latency,
+            energy_j=fill_energy,
+            dram_writebacks=writebacks,
+        )
+
+    # ------------------------------------------------------------------
+    # roll-ups
+    # ------------------------------------------------------------------
+
+    def dirty_lines(self) -> int:
+        """Dirty residents across both parts (eventual write-back debt)."""
+        count = 0
+        for array in (self.lr_array, self.hr_array):
+            for _, _, block in array.iter_blocks():
+                if block.valid and block.dirty:
+                    count += 1
+        return count
+
+    @property
+    def stats(self) -> CacheStats:
+        """Merged demand statistics over both parts."""
+        return self.lr_array.stats.merge(self.hr_array.stats)
+
+    @property
+    def energy(self) -> EnergyLedger:
+        return self._energy
+
+    @property
+    def leakage_power(self) -> float:
+        return self.hr_model.leakage_power + self.lr_model.leakage_power
+
+    @property
+    def area(self) -> float:
+        return self.hr_model.area + self.lr_model.area
+
+    @property
+    def lr_write_share(self) -> float:
+        """Fraction of demand/migration data writes served by the LR part."""
+        total = self.lr_data_writes + self.hr_data_writes
+        return self.lr_data_writes / total if total else 0.0
+
+    @property
+    def total_data_writes(self) -> int:
+        """All data-array write operations (demand, fills, migrations)."""
+        return self.lr_data_writes + self.hr_data_writes

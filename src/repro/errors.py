@@ -1,0 +1,36 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch the whole family with a single ``except`` clause while tests can
+assert on the specific subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid or internally inconsistent."""
+
+
+class GeometryError(ConfigurationError):
+    """A cache/array geometry does not factor (size, ways, line size...)."""
+
+
+class DeviceModelError(ReproError):
+    """An STT-RAM device-model parameter is out of its physical domain."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was asked of data that cannot support it."""

@@ -1,0 +1,125 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.tables import format_table, to_csv
+from repro.config import GPUConfig, baseline_sram
+from repro.gpu.l1 import GPUL1Cache
+from repro.workloads.trace import FLAG_LOCAL, FLAG_WRITE, Workload
+
+#: Default trace length for experiment harnesses (benches); tests shrink it.
+DEFAULT_TRACE_LENGTH = 25_000
+
+
+@dataclass
+class ExperimentResult:
+    """A named table of results plus free-form aggregates.
+
+    ``headers``/``rows`` render the paper artifact; ``extras`` carries the
+    aggregate numbers tests and EXPERIMENTS.md assert on.
+    """
+
+    name: str
+    headers: List[str]
+    rows: List[List]
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def render(self, precision: int = 3) -> str:
+        """Human-readable table, titled."""
+        table = format_table(self.headers, self.rows, precision=precision)
+        extras = ""
+        if self.extras:
+            parts = ", ".join(f"{k}={v:.4g}" for k, v in sorted(self.extras.items()))
+            extras = f"\n[{parts}]"
+        return f"== {self.name} ==\n{table}{extras}"
+
+    def csv(self) -> str:
+        """CSV rendering of the rows."""
+        return to_csv(self.headers, self.rows)
+
+    def column(self, header: str) -> List:
+        """Extract one column by header name."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def render_bars(self, columns: Optional[Sequence[str]] = None,
+                    reference: Optional[float] = 1.0) -> str:
+        """ASCII bar charts for numeric columns (figure-like view).
+
+        ``columns`` selects headers to plot (default: every column whose
+        cells are all numeric).  Rows with non-numeric cells in a plotted
+        column (e.g. the trailing Gmean marker "-") are skipped per column.
+        """
+        from repro.analysis.plot import bars_for_columns
+
+        if columns is None:
+            columns = [
+                header for i, header in enumerate(self.headers[1:], start=1)
+                if any(isinstance(row[i], (int, float)) for row in self.rows)
+            ]
+        blocks = []
+        for header in columns:
+            index = self.headers.index(header)
+            labels, values = [], []
+            for row in self.rows:
+                cell = row[index]
+                if isinstance(cell, (int, float)):
+                    labels.append(str(row[0]))
+                    values.append(float(cell))
+            if labels:
+                blocks.append(
+                    bars_for_columns(labels, header, values, reference=reference)
+                )
+        return "\n\n".join(blocks)
+
+    def row_for(self, key: str) -> List:
+        """Find the row whose first cell equals ``key``."""
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(f"no row {key!r} in experiment {self.name!r}")
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper reports Gmean across benchmarks)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def replay_through_l1(
+    workload: Workload,
+    l2_access: Callable[[int, bool, float], None],
+    config: Optional[GPUConfig] = None,
+    time_dilation: float = 10.0,
+) -> List[GPUL1Cache]:
+    """Replay a trace through per-SM L1s, forwarding L2 traffic to a callback.
+
+    Used by the characterization experiments (Figs. 3-6), which need the
+    L1-filtered L2 access stream but not the full timing/power roll-up.
+    ``l2_access(address, is_write, now)`` is called per L2 request; ``now``
+    runs on the dilated (sampled-trace) timebase, matching what the full
+    simulator hands the L2 — see ``repro.gpu.simulator.TIME_DILATION``.
+    """
+    config = config or baseline_sram()
+    l1s = [GPUL1Cache(config.l1, name=f"l1-sm{i}") for i in range(config.num_sms)]
+    cycle_s = 1.0 / config.core_clock_hz
+    dt = (
+        workload.kernel.compute_intensity * cycle_s / config.num_sms * time_dilation
+    )
+    now = 0.0
+    for sm, address, flag in zip(*workload.trace.columns()):
+        now += dt
+        requests = l1s[sm].access(
+            address, bool(flag & FLAG_WRITE), bool(flag & FLAG_LOCAL), now
+        )
+        for request in requests:
+            l2_access(request.address, request.is_write, now)
+    return l1s

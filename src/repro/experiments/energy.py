@@ -1,0 +1,63 @@
+"""L2 dynamic-energy breakdown on the C1 architecture (extension).
+
+Not a paper figure — it opens the hood on where C1's dynamic energy goes:
+demand accesses (probes + data), HR<->LR migrations, LR refresh, and fills.
+The architecture's bet is that migration and refresh overheads stay small
+next to the demand-energy savings of serving the WWS from LR; this
+experiment checks that bet per benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.config import config_c1
+from repro.core.factory import build_l2
+from repro.core.twopart import TwoPartSTTL2
+from repro.experiments.common import (
+    DEFAULT_TRACE_LENGTH,
+    ExperimentResult,
+    replay_through_l1,
+)
+from repro.workloads.suite import build_workload, suite_names
+
+
+def run(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    benchmarks: Optional[Iterable[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Energy-bucket shares per benchmark on the C1 geometry."""
+    names = list(benchmarks) if benchmarks is not None else suite_names()
+    rows: List[List] = []
+    overhead_shares = []
+    for name in names:
+        workload = build_workload(name, num_accesses=trace_length, seed=seed)
+        l2 = build_l2(config_c1().l2)
+        assert isinstance(l2, TwoPartSTTL2)
+        replay_through_l1(workload, l2.access)
+        ledger = l2.energy
+        total = max(ledger.total_j, 1e-18)
+        overhead = (ledger.migration_j + ledger.refresh_j) / total
+        overhead_shares.append(overhead)
+        rows.append([
+            name,
+            round(ledger.demand_j / total, 3),
+            round(ledger.migration_j / total, 3),
+            round(ledger.refresh_j / total, 3),
+            round(ledger.fill_j / total, 3),
+            round(ledger.total_j * 1e6, 2),
+        ])
+    extras = {
+        "max_overhead_share": max(overhead_shares) if overhead_shares else 0.0,
+        "mean_overhead_share": (
+            sum(overhead_shares) / len(overhead_shares) if overhead_shares else 0.0
+        ),
+    }
+    return ExperimentResult(
+        name="C1 dynamic-energy breakdown (shares of total)",
+        headers=["benchmark", "demand", "migration", "refresh", "fill",
+                 "total_uJ"],
+        rows=rows,
+        extras=extras,
+    )

@@ -1,0 +1,116 @@
+"""Fig. 8 — the headline evaluation: speedup, dynamic power, total power.
+
+Runs the full suite on the five Table 2 systems and reports, per benchmark
+and as geometric means, everything the paper's Fig. 8 plots normalized to
+the SRAM baseline:
+
+* (a) IPC speedup,
+* (b) L2 dynamic power,
+* (c) L2 total power.
+
+Shape targets (see DESIGN.md): C1 wins on average (paper: +16%, peaks over
+2x), the naive STT baseline trails C1 and hurts some write-heavy apps, C2
+wins total power by the largest margin, C3 sits between C1 and C2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.config import all_configs
+from repro.experiments.common import (
+    DEFAULT_TRACE_LENGTH,
+    ExperimentResult,
+    geomean,
+)
+from repro.gpu.metrics import SimulationResult
+from repro.gpu.simulator import simulate
+from repro.workloads.profiles import PROFILES
+from repro.workloads.suite import build_workload, suite_names
+
+CONFIG_ORDER = ("stt-baseline", "C1", "C2", "C3")
+
+
+def run_simulations(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    benchmarks: Optional[Iterable[str]] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, SimulationResult]]:
+    """All (benchmark, config) simulation results, keyed [benchmark][config]."""
+    names = list(benchmarks) if benchmarks is not None else suite_names()
+    configs = all_configs()
+    results: Dict[str, Dict[str, SimulationResult]] = {}
+    for name in names:
+        workload = build_workload(name, num_accesses=trace_length, seed=seed)
+        results[name] = {
+            config_name: simulate(config, workload)
+            for config_name, config in configs.items()
+        }
+    return results
+
+
+def run(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    benchmarks: Optional[Iterable[str]] = None,
+    seed: int = 0,
+    results: Optional[Dict[str, Dict[str, SimulationResult]]] = None,
+) -> ExperimentResult:
+    """Build the Fig. 8 table (pass ``results`` to reuse simulations)."""
+    if results is None:
+        results = run_simulations(trace_length, benchmarks, seed)
+
+    rows: List[List] = []
+    speedups: Dict[str, List[float]] = {c: [] for c in CONFIG_ORDER}
+    dynamics: Dict[str, List[float]] = {c: [] for c in CONFIG_ORDER}
+    totals: Dict[str, List[float]] = {c: [] for c in CONFIG_ORDER}
+    for name, per_config in results.items():
+        base = per_config["baseline"]
+        row: List = [name, PROFILES[name].region]
+        for config_name in CONFIG_ORDER:
+            r = per_config[config_name]
+            speedup = r.speedup_over(base)
+            row.append(round(speedup, 3))
+            speedups[config_name].append(speedup)
+        for config_name in CONFIG_ORDER:
+            r = per_config[config_name]
+            ratio = r.dynamic_power_ratio(base)
+            row.append(round(ratio, 3))
+            dynamics[config_name].append(ratio)
+        for config_name in CONFIG_ORDER:
+            r = per_config[config_name]
+            ratio = r.total_power_ratio(base)
+            row.append(round(ratio, 3))
+            totals[config_name].append(ratio)
+        rows.append(row)
+
+    gmean_row: List = ["Gmean", "-"]
+    for bundle in (speedups, dynamics, totals):
+        for config_name in CONFIG_ORDER:
+            gmean_row.append(round(geomean(bundle[config_name]), 3))
+    rows.append(gmean_row)
+
+    extras = {
+        "gmean_speedup_stt": geomean(speedups["stt-baseline"]),
+        "gmean_speedup_c1": geomean(speedups["C1"]),
+        "gmean_speedup_c2": geomean(speedups["C2"]),
+        "gmean_speedup_c3": geomean(speedups["C3"]),
+        "max_speedup_c1": max(speedups["C1"]),
+        "gmean_dynamic_c1": geomean(dynamics["C1"]),
+        "gmean_dynamic_stt": geomean(dynamics["stt-baseline"]),
+        "gmean_total_c1": geomean(totals["C1"]),
+        "gmean_total_c2": geomean(totals["C2"]),
+        "gmean_total_c3": geomean(totals["C3"]),
+        "gmean_total_stt": geomean(totals["stt-baseline"]),
+    }
+    headers = (
+        ["benchmark", "region"]
+        + [f"speedup_{c}" for c in CONFIG_ORDER]
+        + [f"dynpow_{c}" for c in CONFIG_ORDER]
+        + [f"totpow_{c}" for c in CONFIG_ORDER]
+    )
+    return ExperimentResult(
+        name="Fig 8: speedup / dynamic power / total power vs SRAM baseline",
+        headers=headers,
+        rows=rows,
+        extras=extras,
+    )

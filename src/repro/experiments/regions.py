@@ -1,0 +1,72 @@
+"""Region-aggregated view of the Fig. 8 evaluation.
+
+The paper discusses Fig. 8a in terms of four benchmark regions (insensitive
+/ register-limited / cache+register / cache-friendly).  This experiment
+aggregates the per-benchmark simulations into one row per region so the
+regional story is directly checkable: region 1 flat everywhere, region 2
+moving only with the register file (C2/C3), regions 3-4 moving with cache
+capacity (C1/C3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.experiments import fig8
+from repro.experiments.common import (
+    DEFAULT_TRACE_LENGTH,
+    ExperimentResult,
+    geomean,
+)
+from repro.gpu.metrics import SimulationResult
+from repro.workloads.profiles import PROFILES
+
+REGION_LABELS = {
+    1: "1: insensitive",
+    2: "2: register-limited",
+    3: "3: cache+register",
+    4: "4: cache-friendly",
+}
+
+
+def run(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    benchmarks: Optional[Iterable[str]] = None,
+    seed: int = 0,
+    results: Optional[Dict[str, Dict[str, SimulationResult]]] = None,
+) -> ExperimentResult:
+    """Aggregate Fig. 8 speedups per region (reuses ``results`` if given)."""
+    if results is None:
+        results = fig8.run_simulations(trace_length, benchmarks, seed)
+
+    by_region: Dict[int, Dict[str, List[float]]] = {}
+    for name, per_config in results.items():
+        region = PROFILES[name].region
+        base = per_config["baseline"]
+        bucket = by_region.setdefault(
+            region, {c: [] for c in fig8.CONFIG_ORDER}
+        )
+        for config_name in fig8.CONFIG_ORDER:
+            bucket[config_name].append(
+                per_config[config_name].speedup_over(base)
+            )
+
+    rows: List[List] = []
+    extras: Dict[str, float] = {}
+    for region in sorted(by_region):
+        bucket = by_region[region]
+        row: List = [REGION_LABELS.get(region, str(region)),
+                     len(bucket[fig8.CONFIG_ORDER[0]])]
+        for config_name in fig8.CONFIG_ORDER:
+            value = geomean(bucket[config_name])
+            row.append(round(value, 3))
+            extras[f"region{region}_{config_name}"] = value
+        rows.append(row)
+
+    return ExperimentResult(
+        name="Fig 8a by region: gmean speedup vs SRAM baseline",
+        headers=["region", "benchmarks"]
+        + [f"speedup_{c}" for c in fig8.CONFIG_ORDER],
+        rows=rows,
+        extras=extras,
+    )

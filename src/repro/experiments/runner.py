@@ -1,0 +1,73 @@
+"""Run every experiment and print the paper-artifact tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.experiments import (
+    energy, fig3, fig4, fig5, fig6, fig8, regions, scaling, table1, table2,
+    variance,
+)
+from repro.experiments.common import DEFAULT_TRACE_LENGTH, ExperimentResult
+
+#: Experiment registry: the paper's artifacts in paper order, then the
+#: extensions (everything after "fig8" is not a paper figure).
+EXPERIMENTS = ("table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig8",
+               "regions", "scaling", "energy", "variance")
+
+
+def run_experiment(
+    name: str,
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    benchmarks: Optional[Iterable[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run one experiment by name."""
+    if name == "table1":
+        return table1.run()
+    if name == "table2":
+        return table2.run()
+    module = {"fig3": fig3, "fig4": fig4, "fig5": fig5, "fig6": fig6,
+              "fig8": fig8, "regions": regions, "scaling": scaling,
+              "energy": energy, "variance": variance}[name]
+    return module.run(trace_length=trace_length, benchmarks=benchmarks, seed=seed)
+
+
+def run_all(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    benchmarks: Optional[Iterable[str]] = None,
+    seed: int = 0,
+) -> Dict[str, ExperimentResult]:
+    """Run the whole battery; returns results keyed by experiment name."""
+    return {
+        name: run_experiment(
+            name, trace_length=trace_length, benchmarks=benchmarks, seed=seed
+        )
+        for name in EXPERIMENTS
+    }
+
+
+def main(argv: Optional[Iterable[str]] = None) -> None:  # pragma: no cover - CLI
+    """Print all experiments (used by `python -m repro.experiments.runner`)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", default=list(EXPERIMENTS),
+                        help="subset of experiments to run")
+    parser.add_argument("--trace-length", type=int, default=DEFAULT_TRACE_LENGTH)
+    parser.add_argument("--benchmarks", nargs="*", default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    for name in args.experiments:
+        result = run_experiment(
+            name,
+            trace_length=args.trace_length,
+            benchmarks=args.benchmarks,
+            seed=args.seed,
+        )
+        print(result.render())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,74 @@
+"""Technology-scaling study (extension, not a paper figure).
+
+The paper motivates STT-RAM with the scaling trend: "entering deep nanometer
+technology ... leakage current increases ... per technology node, SRAM
+arrays confront serious scalability and power limitations."  This experiment
+quantifies that motivation inside the model: it re-runs the baseline-vs-C1
+comparison at 45 nm, 40 nm (the paper's node) and 32 nm and reports how the
+total-L2-power advantage of the two-part STT-RAM design grows as SRAM
+leakage worsens.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional
+
+from repro.areapower.technology import TECH_32NM, TECH_40NM, TECH_45NM
+from repro.config import baseline_sram, config_c1
+from repro.experiments.common import (
+    DEFAULT_TRACE_LENGTH,
+    ExperimentResult,
+    geomean,
+)
+from repro.gpu.simulator import simulate
+from repro.workloads.suite import build_workload
+
+NODES = (TECH_45NM, TECH_40NM, TECH_32NM)
+
+#: A small representative mix: one cache-friendly, one insensitive.
+DEFAULT_BENCHMARKS = ("bfs", "stencil")
+
+
+def run(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    benchmarks: Optional[Iterable[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Baseline-vs-C1 total-power ratio across technology nodes."""
+    names = list(benchmarks) if benchmarks is not None else list(DEFAULT_BENCHMARKS)
+    rows: List[List] = []
+    ratios_by_node = {}
+    for tech in NODES:
+        base_cfg = dataclasses.replace(baseline_sram(), tech=tech)
+        c1_cfg = dataclasses.replace(config_c1(), tech=tech)
+        total_ratios = []
+        speedups = []
+        leak_ratio = None
+        for name in names:
+            workload = build_workload(name, num_accesses=trace_length, seed=seed)
+            base = simulate(base_cfg, workload)
+            c1 = simulate(c1_cfg, workload)
+            total_ratios.append(c1.total_power_ratio(base))
+            speedups.append(c1.speedup_over(base))
+            leak_ratio = c1.l2_leakage_power_w / base.l2_leakage_power_w
+        ratio = geomean(total_ratios)
+        ratios_by_node[tech.name] = ratio
+        rows.append([
+            tech.name,
+            round(geomean(speedups), 3),
+            round(ratio, 3),
+            round(leak_ratio, 3),
+        ])
+    extras = {
+        "total_ratio_45nm": ratios_by_node["45nm"],
+        "total_ratio_40nm": ratios_by_node["40nm"],
+        "total_ratio_32nm": ratios_by_node["32nm"],
+    }
+    return ExperimentResult(
+        name="Scaling study: C1 vs SRAM baseline across nodes",
+        headers=["node", "c1_speedup", "c1_total_power_ratio",
+                 "c1_leakage_ratio"],
+        rows=rows,
+        extras=extras,
+    )

@@ -1,0 +1,43 @@
+"""Table 1 — STT-RAM parameters per retention level (reconstructed).
+
+Regenerates the paper's device table from the physics model: thermal
+stability, retention time, write latency/energy and the refresh scope for
+the 10-year, HR and LR operating points.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.sttram.retention import retention_catalogue
+from repro.units import NS, PJ, format_time
+
+
+def run(line_size_bytes: int = 256) -> ExperimentResult:
+    """Build the Table 1 rows (one per retention level)."""
+    catalogue = retention_catalogue()
+    rows = []
+    for level in catalogue.values():
+        rows.append([
+            level.name,
+            round(level.delta, 1),
+            format_time(level.retention_time),
+            level.write_latency / NS,
+            level.write_energy_per_line(line_size_bytes) / PJ,
+            level.refresh_scope,
+        ])
+    extras = {
+        "we_ratio_10year_over_lr": (
+            catalogue["10year"].write_energy_per_line(line_size_bytes)
+            / catalogue["lr"].write_energy_per_line(line_size_bytes)
+        ),
+        "wl_ratio_10year_over_lr": (
+            catalogue["10year"].write_latency / catalogue["lr"].write_latency
+        ),
+    }
+    return ExperimentResult(
+        name="Table 1: STT-RAM retention levels",
+        headers=["level", "delta", "retention", "write_latency_ns",
+                 "write_energy_pJ_per_line", "refreshing"],
+        rows=rows,
+        extras=extras,
+    )

@@ -1,0 +1,64 @@
+"""Kernel descriptors: the launch-configuration facts the models need.
+
+A GPGPU application is a sequence of kernels; for the throughput and
+occupancy models we need each kernel's resource footprint (registers/thread,
+threads/block, shared memory/block) and its arithmetic intensity (average
+issued instructions per memory instruction per warp).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class KernelDescriptor:
+    """Static properties of one kernel launch.
+
+    Attributes
+    ----------
+    name:
+        Kernel (or benchmark) name.
+    regs_per_thread:
+        32-bit registers allocated per thread — the occupancy lever that
+        C2/C3 relax.
+    threads_per_block:
+        CTA size.
+    shared_mem_per_block:
+        Bytes of software-managed shared memory per CTA.
+    compute_intensity:
+        Average warp instructions issued per memory instruction (including
+        the memory instruction itself); the ``c`` of the latency-hiding
+        model.
+    """
+
+    name: str
+    regs_per_thread: int = 24
+    threads_per_block: int = 256
+    shared_mem_per_block: int = 0
+    compute_intensity: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.regs_per_thread <= 0:
+            raise ConfigurationError("registers per thread must be positive")
+        if self.threads_per_block <= 0:
+            raise ConfigurationError("threads per block must be positive")
+        if self.shared_mem_per_block < 0:
+            raise ConfigurationError("shared memory must be non-negative")
+        if self.compute_intensity < 1.0:
+            raise ConfigurationError(
+                "compute intensity counts the memory instruction itself, "
+                "so it must be >= 1"
+            )
+
+    def warps_per_block(self, warp_size: int = 32) -> int:
+        """Warps per CTA (rounded up)."""
+        if warp_size <= 0:
+            raise ConfigurationError("warp size must be positive")
+        return -(-self.threads_per_block // warp_size)
+
+    def regs_per_block(self) -> int:
+        """Registers one CTA pins down."""
+        return self.regs_per_thread * self.threads_per_block

@@ -1,0 +1,71 @@
+"""Simulation result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything one (workload, config) simulation produced.
+
+    Power figures cover the L2 only, matching the paper's Fig. 8b/8c scope
+    ("the average total consumption power of the whole L2 cache").
+    """
+
+    workload: str
+    config: str
+    # performance
+    ipc: float
+    utilization: float
+    warps_per_sm: int
+    occupancy_limiter: str
+    bound_by: str
+    sim_time_s: float
+    total_warp_insts: float
+    avg_read_latency_cycles: float
+    # hierarchy behaviour
+    l1_hit_rate: float
+    l2_hit_rate: float
+    l2_reads: int
+    l2_writes: int
+    l2_requests: int
+    dram_accesses: int
+    dram_row_hit_rate: float
+    dram_writebacks: int
+    # L2 power/energy
+    l2_dynamic_energy_j: float
+    l2_dynamic_power_w: float
+    l2_leakage_power_w: float
+    l2_area_m2: float
+    energy_breakdown: Dict[str, float] = field(default_factory=dict)
+    # two-part extras (None for uniform L2s)
+    lr_write_share: Optional[float] = None
+    migrations_to_lr: Optional[int] = None
+    refresh_writes: Optional[int] = None
+    data_losses: Optional[int] = None
+    buffer_overflow_rate: Optional[float] = None
+
+    @property
+    def l2_total_power_w(self) -> float:
+        """Dynamic + leakage power of the L2 (W)."""
+        return self.l2_dynamic_power_w + self.l2_leakage_power_w
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """IPC ratio vs a baseline run of the same workload."""
+        if baseline.ipc <= 0:
+            raise ZeroDivisionError("baseline IPC is zero")
+        return self.ipc / baseline.ipc
+
+    def dynamic_power_ratio(self, baseline: "SimulationResult") -> float:
+        """L2 dynamic power normalized to a baseline run."""
+        if baseline.l2_dynamic_power_w <= 0:
+            raise ZeroDivisionError("baseline dynamic power is zero")
+        return self.l2_dynamic_power_w / baseline.l2_dynamic_power_w
+
+    def total_power_ratio(self, baseline: "SimulationResult") -> float:
+        """L2 total power normalized to a baseline run."""
+        if baseline.l2_total_power_w <= 0:
+            raise ZeroDivisionError("baseline total power is zero")
+        return self.l2_total_power_w / baseline.l2_total_power_w

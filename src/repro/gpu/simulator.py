@@ -1,0 +1,322 @@
+"""Trace-driven GPU memory-hierarchy simulator with an analytical IPC model.
+
+The cycle-level GPGPU-Sim of the paper is replaced by a two-layer model
+(see DESIGN.md for the substitution argument):
+
+1. **Hierarchy replay** — the workload trace runs through per-SM L1s (GPU
+   write policies), the banked shared L2 (any :class:`L2Interface`
+   implementation), the butterfly NoC and the DRAM channels.  This yields
+   hit rates, per-request latencies (including bank occupancy by slow
+   STT-RAM writes — the effect the LR part exists to absorb), energy, and
+   DRAM traffic.
+
+2. **Warp-level latency-hiding IPC model** — with ``W`` resident warps
+   (occupancy from the register file: the C2/C3 lever) each issuing ``c``
+   instructions per memory instruction against an average exposed read
+   latency ``L``, SM issue utilization is ``min(1, W*c / (c + L))``.
+   Throughput is additionally capped by DRAM line bandwidth and aggregate
+   L2 bank service rate.  IPC is reported in thread instructions per cycle.
+
+The model reproduces the paper's *comparisons* (speedups and power ratios
+across L2 organizations), not absolute GPGPU-Sim numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.cache.banked import BankedCache
+from repro.config import GPUConfig
+from repro.core.factory import build_l2
+from repro.core.interface import L2Interface
+from repro.core.twopart import TwoPartSTTL2
+from repro.errors import SimulationError
+from repro.gpu.dram import DRAMModel
+from repro.gpu.interconnect import ButterflyNoC
+from repro.gpu.l1 import GPUL1Cache
+from repro.gpu.metrics import SimulationResult
+from repro.gpu.occupancy import compute_occupancy
+from repro.gpu.readonly import (
+    CONST_CACHE_CONFIG,
+    TEXTURE_CACHE_CONFIG,
+    ReadOnlyCache,
+)
+from repro.workloads.trace import (
+    FLAG_CONST,
+    FLAG_LOCAL,
+    FLAG_TEXTURE,
+    FLAG_WRITE,
+    Workload,
+)
+
+#: L1 hit service latency (cycles); GPU L1s are not latency-optimized.
+L1_HIT_CYCLES = 20.0
+
+#: Cap on recorded bank queueing (multiples of the request's service time);
+#: real GPUs throttle injection instead of queueing unboundedly.
+BANK_WAIT_CAP_FACTOR = 50.0
+
+#: A synthetic trace *samples* the full run: each record stands for this many
+#: accesses of the real instruction stream.  Wall-clock-dependent state
+#: (retention counters, refresh, rewrite intervals) therefore advances
+#: ``TIME_DILATION``x faster per record than the queueing clocks, which see
+#: the real per-record arrival rate.
+TIME_DILATION = 10.0
+
+
+class GPUSimulator:
+    """One (workload, configuration) simulation."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        workload: Workload,
+        l2: Optional[L2Interface] = None,
+        track_intervals: bool = False,
+        time_dilation: float = TIME_DILATION,
+        deferred_l1_fills: bool = True,
+        start_time_s: float = 0.0,
+    ) -> None:
+        if time_dilation <= 0:
+            raise SimulationError("time dilation must be positive")
+        if start_time_s < 0:
+            raise SimulationError("start time must be non-negative")
+        self.config = config
+        self.workload = workload
+        self.time_dilation = time_dilation
+        self.deferred_l1_fills = deferred_l1_fills
+        self.start_time_s = start_time_s
+        #: replay-clock time when run() finished (kernel chaining)
+        self.end_time_s = start_time_s
+        # when chaining kernels over a shared L2, exclude energy spent
+        # before this kernel from its power roll-up
+        self._energy_baseline_j = l2.energy.total_j if l2 is not None else 0.0
+        self.l2 = l2 if l2 is not None else build_l2(
+            config.l2, track_intervals=track_intervals, tech=config.tech
+        )
+        self.l1s = [
+            GPUL1Cache(config.l1, name=f"l1-sm{i}", deferred_fills=deferred_l1_fills)
+            for i in range(config.num_sms)
+        ]
+        self.const_caches = [
+            ReadOnlyCache(CONST_CACHE_CONFIG, name=f"const-sm{i}")
+            for i in range(config.num_sms)
+        ]
+        self.texture_caches = [
+            ReadOnlyCache(TEXTURE_CACHE_CONFIG, name=f"tex-sm{i}")
+            for i in range(config.num_sms)
+        ]
+        self.banks = BankedCache(config.l2.num_banks, config.l2.line_size)
+        self.noc = ButterflyNoC(
+            num_sources=config.num_sms,
+            num_destinations=config.l2.num_banks,
+        )
+        self.dram = DRAMModel(
+            num_channels=config.num_mem_controllers,
+            line_size=config.l2.line_size,
+            base_latency_s=config.dram_latency_s,
+        )
+
+    def run(self) -> SimulationResult:
+        """Replay the trace and roll up IPC and L2 power."""
+        config = self.config
+        kernel = self.workload.kernel
+        occupancy = compute_occupancy(kernel, config)
+        cycle_s = 1.0 / config.core_clock_hz
+
+        # merged memory-instruction inter-arrival: each of the SMs issues a
+        # memory instruction every `c` cycles when running unstalled
+        dt = kernel.compute_intensity * cycle_s / config.num_sms
+        noc_rt_cycles = self.noc.round_trip_cycles(
+            request_bytes=8, response_bytes=config.l2.line_size
+        )
+
+        sms, addresses, flags = self.workload.trace.columns()
+        now = self.start_time_s
+        reads = 0
+        stall_sum_s = 0.0  # exposed memory stall over all memory instructions
+        read_latency_sum_s = 0.0
+        l2_requests = 0
+        l2_service_sum_s = 0.0
+        dram_writebacks = 0
+        max_sm = config.num_sms
+
+        for sm, address, flag in zip(sms, addresses, flags):
+            now += dt
+            is_write = bool(flag & FLAG_WRITE)
+            is_local = bool(flag & FLAG_LOCAL)
+            if sm >= max_sm:
+                raise SimulationError(
+                    f"trace SM id {sm} exceeds configured {max_sm} SMs"
+                )
+            if not is_write:
+                reads += 1
+                stall_sum_s += L1_HIT_CYCLES * cycle_s
+                read_latency_sum_s += L1_HIT_CYCLES * cycle_s
+            l1 = self.l1s[sm]
+            if flag & (FLAG_CONST | FLAG_TEXTURE):
+                # constant/texture reads go through their dedicated
+                # read-only caches instead of the L1D (Fig. 1 hierarchy)
+                ro = (self.const_caches if flag & FLAG_CONST
+                      else self.texture_caches)[sm]
+                ro_request = ro.access(address, now)
+                requests = [] if ro_request is None else [ro_request]
+            else:
+                requests = l1.access(address, is_write, is_local, now)
+            for request in requests:
+                # the L2's clock (retention counters, refresh) runs on the
+                # dilated timebase; queueing clocks stay on the real one
+                result = self.l2.access(
+                    request.address, request.is_write, now * self.time_dilation
+                )
+                l2_requests += 1
+                l2_service_sum_s += result.latency_s
+                wait = self.banks.schedule(request.address, now, result.latency_s)
+                wait = min(wait, BANK_WAIT_CAP_FACTOR * max(result.latency_s, cycle_s))
+                latency = wait + result.latency_s
+                if result.dram_fetch:
+                    latency += self.dram.access(request.address, False, now + latency)
+                for _ in range(result.dram_writebacks):
+                    # write-backs leave the critical path; count the traffic
+                    self.dram.access(request.address, True, now)
+                    dram_writebacks += 1
+                if request.kind == "fetch":
+                    total_latency = latency + noc_rt_cycles * cycle_s
+                    stall_sum_s += total_latency
+                    read_latency_sum_s += total_latency
+                    if self.deferred_l1_fills:
+                        l1.complete_fetch(request.address, now + total_latency)
+                elif request.kind == "write":
+                    # a store retires once its L2 bank accepts it; queueing
+                    # behind slow writes backpressures the SM (finite store
+                    # buffering) — the STT-baseline's Achilles heel
+                    stall_sum_s += wait + result.latency_s
+
+        self.end_time_s = now
+        return self._roll_up(
+            occupancy=occupancy,
+            cycle_s=cycle_s,
+            reads=reads,
+            stall_sum_s=stall_sum_s,
+            read_latency_sum_s=read_latency_sum_s,
+            l2_requests=l2_requests,
+            l2_service_sum_s=l2_service_sum_s,
+            dram_writebacks=dram_writebacks,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _roll_up(
+        self,
+        occupancy,
+        cycle_s: float,
+        reads: int,
+        stall_sum_s: float,
+        read_latency_sum_s: float,
+        l2_requests: int,
+        l2_service_sum_s: float,
+        dram_writebacks: int,
+    ) -> SimulationResult:
+        config = self.config
+        kernel = self.workload.kernel
+        n_mem_insts = len(self.workload.trace)
+        total_warp_insts = n_mem_insts * kernel.compute_intensity
+
+        avg_read_latency_cycles = (
+            read_latency_sum_s / max(1, reads) / cycle_s if reads else L1_HIT_CYCLES
+        )
+        avg_stall_cycles = stall_sum_s / max(1, n_mem_insts) / cycle_s
+
+        # --- latency-hiding issue utilization --------------------------
+        c = kernel.compute_intensity
+        w = occupancy.warps_per_sm
+        utilization = min(1.0, w * c / (c + avg_stall_cycles))
+        rate_latency = utilization * config.num_sms / cycle_s  # warp insts / s
+
+        # --- bandwidth / service-rate caps ---------------------------------
+        bound_by = "latency"
+        rate = rate_latency
+        # steady-state correction: dirty residents are deferred write-backs;
+        # charge them to the DRAM traffic so a short trace doesn't credit a
+        # large cache with write absorption it only postpones
+        dram_accesses = self.dram.stats.accesses + self.l2.dirty_lines()
+        if dram_accesses:
+            per_inst = dram_accesses / total_warp_insts
+            # aggregate line rate across all channels
+            line_rate = self.dram.num_channels / self.dram.service_time_s
+            rate_dram = line_rate / per_inst
+            if rate_dram < rate:
+                rate, bound_by = rate_dram, "dram-bandwidth"
+        if l2_requests:
+            per_inst = l2_requests / total_warp_insts
+            avg_service = l2_service_sum_s / l2_requests
+            bank_rate = config.l2.num_banks / max(avg_service, 1e-12)
+            rate_l2 = bank_rate / per_inst
+            if rate_l2 < rate:
+                rate, bound_by = rate_l2, "l2-banks"
+
+        ipc = config.warp_size * rate * cycle_s  # thread insts per core cycle
+        sim_time_s = total_warp_insts / rate
+
+        # --- L1 / L2 roll-ups ----------------------------------------------
+        l1_accesses = sum(l1.array.stats.accesses for l1 in self.l1s)
+        l1_hits = sum(l1.array.stats.hits for l1 in self.l1s)
+        l1_hit_rate = l1_hits / l1_accesses if l1_accesses else 0.0
+        l2_stats = self.l2.stats
+
+        dynamic_energy = self.l2.energy.total_j - self._energy_baseline_j
+        dynamic_power = dynamic_energy / sim_time_s if sim_time_s > 0 else 0.0
+
+        extras = {}
+        if isinstance(self.l2, TwoPartSTTL2):
+            overflow_attempts = (
+                self.l2.hr_to_lr.stats.pushes + self.l2.hr_to_lr.stats.overflows
+                + self.l2.lr_to_hr.stats.pushes + self.l2.lr_to_hr.stats.overflows
+            )
+            overflows = (
+                self.l2.hr_to_lr.stats.overflows + self.l2.lr_to_hr.stats.overflows
+            )
+            extras = {
+                "lr_write_share": self.l2.lr_write_share,
+                "migrations_to_lr": self.l2.migrations_to_lr,
+                "refresh_writes": self.l2.refresh_writes,
+                "data_losses": self.l2.data_losses,
+                "buffer_overflow_rate": (
+                    overflows / overflow_attempts if overflow_attempts else 0.0
+                ),
+            }
+
+        return SimulationResult(
+            workload=self.workload.name,
+            config=config.name,
+            ipc=ipc,
+            utilization=utilization,
+            warps_per_sm=occupancy.warps_per_sm,
+            occupancy_limiter=occupancy.limiter,
+            bound_by=bound_by,
+            sim_time_s=sim_time_s,
+            total_warp_insts=total_warp_insts,
+            avg_read_latency_cycles=avg_read_latency_cycles,
+            l1_hit_rate=l1_hit_rate,
+            l2_hit_rate=l2_stats.hit_rate,
+            l2_reads=l2_stats.reads,
+            l2_writes=l2_stats.writes,
+            l2_requests=l2_requests,
+            dram_accesses=dram_accesses,
+            dram_row_hit_rate=self.dram.stats.row_hit_rate,
+            dram_writebacks=dram_writebacks,
+            l2_dynamic_energy_j=dynamic_energy,
+            l2_dynamic_power_w=dynamic_power,
+            l2_leakage_power_w=self.l2.leakage_power,
+            l2_area_m2=self.l2.area,
+            energy_breakdown=self.l2.energy.as_dict(),
+            **extras,
+        )
+
+
+def simulate(
+    config: GPUConfig, workload: Workload, track_intervals: bool = False
+) -> SimulationResult:
+    """Convenience wrapper: build the simulator and run it."""
+    return GPUSimulator(config, workload, track_intervals=track_intervals).run()

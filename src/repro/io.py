@@ -1,0 +1,95 @@
+"""Result serialization: simulation and experiment results to/from JSON.
+
+Downstream pipelines (plotting, regression tracking) want machine-readable
+artifacts next to the printed tables; these helpers provide a stable JSON
+schema for :class:`~repro.gpu.metrics.SimulationResult` and
+:class:`~repro.experiments.common.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Mapping, Union
+
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentResult
+from repro.gpu.metrics import SimulationResult
+
+PathLike = Union[str, Path]
+
+#: Schema version stamped into every file this module writes.
+SCHEMA_VERSION = 1
+
+
+def simulation_result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    """Flatten a simulation result to plain JSON-able types."""
+    payload = dataclasses.asdict(result)
+    payload["l2_total_power_w"] = result.l2_total_power_w
+    return payload
+
+
+def experiment_result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """Flatten an experiment result (headers/rows/extras)."""
+    return {
+        "name": result.name,
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+        "extras": dict(result.extras),
+    }
+
+
+def experiment_result_from_dict(payload: Mapping[str, Any]) -> ExperimentResult:
+    """Inverse of :func:`experiment_result_to_dict`."""
+    try:
+        return ExperimentResult(
+            name=payload["name"],
+            headers=list(payload["headers"]),
+            rows=[list(row) for row in payload["rows"]],
+            extras=dict(payload.get("extras", {})),
+        )
+    except KeyError as missing:
+        raise ReproError(f"experiment payload missing key {missing}") from None
+
+
+def save_experiments(
+    results: Mapping[str, ExperimentResult], path: PathLike
+) -> None:
+    """Write a battery of experiment results to one JSON file."""
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "experiments": {
+            name: experiment_result_to_dict(result)
+            for name, result in results.items()
+        },
+    }
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
+
+
+def load_experiments(path: PathLike) -> Dict[str, ExperimentResult]:
+    """Read a battery written by :func:`save_experiments`."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ReproError(f"cannot load experiments from {path}: {error}") from error
+    if document.get("schema_version") != SCHEMA_VERSION:
+        raise ReproError(
+            f"unsupported schema version {document.get('schema_version')!r} "
+            f"in {path} (expected {SCHEMA_VERSION})"
+        )
+    return {
+        name: experiment_result_from_dict(payload)
+        for name, payload in document.get("experiments", {}).items()
+    }
+
+
+def save_simulations(
+    results: Iterable[SimulationResult], path: PathLike
+) -> None:
+    """Write a list of simulation results to one JSON file."""
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "simulations": [simulation_result_to_dict(r) for r in results],
+    }
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))

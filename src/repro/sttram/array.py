@@ -1,0 +1,99 @@
+"""Array-level STT-RAM timing/energy roll-up.
+
+Bridges the per-bit cell numbers in :mod:`repro.sttram.cell` to per-access
+(line-granularity) figures that the CACTI-like model in
+:mod:`repro.areapower` and the simulator consume.  The array adds peripheral
+overheads (decoders, sense amplifiers, write drivers, H-tree wires) on top of
+the raw cell energies; those overheads are modeled as multiplicative/additive
+factors calibrated against published CACTI-for-NVM runs rather than derived
+from first principles — the paper itself used a "slightly modified" CACTI 6.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceModelError
+from repro.sttram.retention import RetentionLevel
+from repro.units import NS, PJ
+
+
+@dataclass(frozen=True)
+class STTRAMArrayModel:
+    """Per-access figures for an STT-RAM data array at one retention level.
+
+    Attributes
+    ----------
+    level:
+        Device operating point (retention level).
+    line_size_bytes:
+        Access granularity.
+    peripheral_read_energy:
+        Decoder + sense-amp + wire energy added to each line read (J).
+    peripheral_write_energy:
+        Decoder + write-driver + wire energy added to each line write (J).
+    array_overhead_latency:
+        Decoder/wire latency added to each access (s).
+    leakage_per_mb:
+        Leakage power per MB of array (W); near zero for STT-RAM — only the
+        CMOS periphery leaks.
+    """
+
+    level: RetentionLevel
+    line_size_bytes: int = 256
+    peripheral_read_energy: float = 60.0 * PJ
+    peripheral_write_energy: float = 80.0 * PJ
+    array_overhead_latency: float = 2.0 * NS
+    leakage_per_mb: float = 0.018
+
+    def __post_init__(self) -> None:
+        if self.line_size_bytes <= 0:
+            raise DeviceModelError("line size must be positive")
+        if self.peripheral_read_energy < 0 or self.peripheral_write_energy < 0:
+            raise DeviceModelError("peripheral energies must be non-negative")
+        if self.array_overhead_latency < 0:
+            raise DeviceModelError("array overhead latency must be non-negative")
+        if self.leakage_per_mb < 0:
+            raise DeviceModelError("leakage must be non-negative")
+
+    # --- energy ----------------------------------------------------------
+
+    @property
+    def read_energy(self) -> float:
+        """Energy (J) per line read, including periphery."""
+        return (
+            self.level.read_energy_per_line(self.line_size_bytes)
+            + self.peripheral_read_energy
+        )
+
+    @property
+    def write_energy(self) -> float:
+        """Energy (J) per line write, including periphery."""
+        return (
+            self.level.write_energy_per_line(self.line_size_bytes)
+            + self.peripheral_write_energy
+        )
+
+    # --- latency -----------------------------------------------------------
+
+    @property
+    def read_latency(self) -> float:
+        """Latency (s) per line read."""
+        return self.level.read_latency + self.array_overhead_latency
+
+    @property
+    def write_latency(self) -> float:
+        """Latency (s) per line write (dominated by the MTJ pulse)."""
+        return self.level.write_latency + self.array_overhead_latency
+
+    # --- leakage -----------------------------------------------------------
+
+    def leakage_power(self, capacity_bytes: int) -> float:
+        """Array leakage (W) for ``capacity_bytes`` of STT-RAM."""
+        if capacity_bytes < 0:
+            raise DeviceModelError("capacity must be non-negative")
+        return self.leakage_per_mb * capacity_bytes / (1024 * 1024)
+
+    def refresh_energy_per_line(self) -> float:
+        """Energy (J) of one buffer-assisted refresh: read + write back."""
+        return self.read_energy + self.write_energy

@@ -1,0 +1,77 @@
+"""Early Write Termination (EWT) — Zhou et al., ICCAD 2009 (paper ref [17]).
+
+An STT-RAM write drives every bit of the line for the full pulse even when
+most bits already hold the target value.  EWT compares each cell's current
+state against the incoming bit early in the pulse and terminates the write
+current for unchanged bits, so write *energy* scales with the fraction of
+bits that actually flip (write *latency* is unchanged — the worst-case bit
+still needs the full pulse).
+
+The behavioural model carries no data values, so the flip fraction is a
+workload-level parameter; ~0.3-0.5 is typical for cache lines in the
+literature, with redundancy-heavy workloads far lower.  The related GPU
+work the paper cites (Goswami et al., HPCA 2013) applies EWT at a coarser
+granularity; the ``granularity_bits`` knob models that: termination
+decisions cover groups of bits, so a group writes whenever *any* of its
+bits flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceModelError
+
+
+@dataclass(frozen=True)
+class EWTModel:
+    """Early-write-termination energy model.
+
+    Attributes
+    ----------
+    flip_fraction:
+        Expected fraction of bits whose value changes per line write.
+    granularity_bits:
+        Bits per termination group (1 = per-bit EWT; larger groups model
+        cheaper comparators that save less energy).
+    comparison_overhead:
+        Energy overhead of the current-state comparison, as a fraction of
+        the unterminated write energy.
+    """
+
+    flip_fraction: float = 0.35
+    granularity_bits: int = 1
+    comparison_overhead: float = 0.04
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.flip_fraction <= 1.0:
+            raise DeviceModelError("flip fraction must be in [0, 1]")
+        if self.granularity_bits < 1:
+            raise DeviceModelError("granularity must be at least one bit")
+        if self.comparison_overhead < 0:
+            raise DeviceModelError("comparison overhead must be non-negative")
+
+    @property
+    def group_write_probability(self) -> float:
+        """Probability a termination group must be fully written.
+
+        A group writes when any of its ``granularity_bits`` bits flips:
+        ``1 - (1 - p)**g``.
+        """
+        survive = (1.0 - self.flip_fraction) ** self.granularity_bits
+        return 1.0 - survive
+
+    @property
+    def write_energy_factor(self) -> float:
+        """Multiplier on the device write energy (<= 1 + overhead).
+
+        Terminated groups still pay the comparison overhead.
+        """
+        return min(
+            1.0 + self.comparison_overhead,
+            self.group_write_probability + self.comparison_overhead,
+        )
+
+    def savings(self) -> float:
+        """Fraction of device write energy saved."""
+        return max(0.0, 1.0 - self.write_energy_factor)

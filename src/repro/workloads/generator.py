@@ -1,0 +1,186 @@
+"""Synthetic trace generator.
+
+Turns a :class:`~repro.workloads.profiles.BenchmarkProfile` into a
+:class:`~repro.workloads.trace.Trace`: a time-ordered stream of (SM,
+address, read/write, global/local) records at L1-line (128 B) granularity.
+
+Structure of a generated trace:
+
+* every access draws a *kind* from the profile's mix (streaming read/write,
+  hot-data read, WWS write/read, local read/write);
+* the trace is divided into *phases* (the paper's grids); the WWS hot set
+  re-randomizes each phase, and the tail of each phase is an optional burst
+  of sequential output writes ("grids have a small amount of writes
+  happening usually at the end of their execution");
+* address regions are disjoint per segment, local data is additionally
+  partitioned per SM.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.patterns import (
+    HotSegment,
+    LocalSegment,
+    PhasedWriteSegment,
+    StreamingSegment,
+)
+from repro.workloads.trace import (
+    FLAG_CONST,
+    FLAG_LOCAL,
+    FLAG_TEXTURE,
+    FLAG_WRITE,
+    Trace,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.profiles import BenchmarkProfile
+
+#: L1-line granularity of generated addresses.
+ACCESS_GRANULARITY = 128
+
+#: Disjoint address regions (1 GB apart).
+REGION_STRIDE = 1 << 30
+STREAM_BASE = 0 * REGION_STRIDE
+HOT_BASE = 1 * REGION_STRIDE
+WWS_BASE = 2 * REGION_STRIDE
+LOCAL_BASE = 3 * REGION_STRIDE
+OUTPUT_BASE = 4 * REGION_STRIDE
+CONST_BASE = 5 * REGION_STRIDE
+TEXTURE_BASE = 6 * REGION_STRIDE
+
+# access-kind indices for the categorical draw
+_KINDS = (
+    "stream_read",
+    "stream_write",
+    "hot_read",
+    "wws_write",
+    "wws_read",
+    "local_read",
+    "local_write",
+    "const_read",
+    "texture_read",
+)
+
+
+class TraceGenerator:
+    """Generates traces for one profile (reusable across lengths/seeds)."""
+
+    def __init__(self, profile: "BenchmarkProfile") -> None:
+        self.profile = profile
+        mix = profile.mix_vector()
+        if abs(sum(mix) - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"{profile.name}: access mix sums to {sum(mix)}, expected 1"
+            )
+        self._mix = np.asarray(mix, dtype=np.float64)
+
+    def generate(self, num_accesses: int, num_sms: int = 15, seed: int = 0) -> Trace:
+        """Generate a trace of ``num_accesses`` records."""
+        if num_accesses <= 0:
+            raise ConfigurationError("trace length must be positive")
+        if num_sms <= 0:
+            raise ConfigurationError("need at least one SM")
+        p = self.profile
+        rng = np.random.default_rng(seed)
+
+        kinds = rng.choice(len(_KINDS), size=num_accesses, p=self._mix)
+        sms = rng.integers(0, num_sms, size=num_accesses, dtype=np.int16)
+        addresses = np.zeros(num_accesses, dtype=np.int64)
+        flags = np.zeros(num_accesses, dtype=np.uint8)
+
+        # fresh segment state per generate() call => reproducible traces
+        stream = StreamingSegment(p.stream_lines)
+        hot = HotSegment(
+            p.hot_lines, alpha=p.hot_alpha, scatter=p.hot_scatter,
+            permutation_seed=seed + 1,
+        )
+        wws = PhasedWriteSegment(p.wws_lines, alpha=p.wws_alpha,
+                                 permutation_seed=seed + 2)
+        local = LocalSegment(p.local_lines, window_lines=p.local_window_lines)
+        const = HotSegment(p.const_lines, alpha=1.0, permutation_seed=seed + 3)
+        texture = HotSegment(
+            p.texture_lines, alpha=p.texture_alpha, permutation_seed=seed + 4
+        )
+
+        phase_len = max(1, int(num_accesses * p.phase_fraction))
+        burst_len = int(phase_len * p.burst_fraction)
+        index = np.arange(num_accesses)
+        phase_of = index // phase_len
+        in_burst = (index % phase_len) >= (phase_len - burst_len)
+
+        # --- streaming ------------------------------------------------
+        for kind, is_write in (("stream_read", False), ("stream_write", True)):
+            mask = (kinds == _KINDS.index(kind)) & ~in_burst
+            count = int(mask.sum())
+            if count:
+                lines = stream.draw(rng, count)
+                addresses[mask] = STREAM_BASE + lines * ACCESS_GRANULARITY
+                if is_write:
+                    flags[mask] |= FLAG_WRITE
+
+        # --- hot read-mostly data ------------------------------------------
+        mask = (kinds == _KINDS.index("hot_read")) & ~in_burst
+        count = int(mask.sum())
+        if count:
+            lines = hot.draw(rng, count)
+            addresses[mask] = HOT_BASE + lines * ACCESS_GRANULARITY
+
+        # --- write working set (phase-aware) --------------------------------
+        for kind, is_write in (("wws_write", True), ("wws_read", False)):
+            kind_mask = (kinds == _KINDS.index(kind)) & ~in_burst
+            for phase in np.unique(phase_of[kind_mask]):
+                mask = kind_mask & (phase_of == phase)
+                count = int(mask.sum())
+                if not count:
+                    continue
+                wws.start_phase(int(phase))
+                lines = wws.draw(rng, count)
+                base = WWS_BASE
+                if p.wws_private:
+                    base = WWS_BASE + sms[mask].astype(np.int64) * (
+                        p.wws_lines * ACCESS_GRANULARITY
+                    )
+                addresses[mask] = base + lines * ACCESS_GRANULARITY
+                if is_write:
+                    flags[mask] |= FLAG_WRITE
+
+        # --- local (per-thread) data ---------------------------------------
+        for kind, is_write in (("local_read", False), ("local_write", True)):
+            mask = (kinds == _KINDS.index(kind)) & ~in_burst
+            count = int(mask.sum())
+            if count:
+                lines = local.draw(rng, count)
+                base = LOCAL_BASE + sms[mask].astype(np.int64) * (
+                    p.local_lines * ACCESS_GRANULARITY
+                )
+                addresses[mask] = base + lines * ACCESS_GRANULARITY
+                flags[mask] |= FLAG_LOCAL
+                if is_write:
+                    flags[mask] |= FLAG_WRITE
+
+        # --- constant / texture reads (served by dedicated RO caches) -------
+        for kind, segment, base, flag in (
+            ("const_read", const, CONST_BASE, FLAG_CONST),
+            ("texture_read", texture, TEXTURE_BASE, FLAG_TEXTURE),
+        ):
+            mask = (kinds == _KINDS.index(kind)) & ~in_burst
+            count = int(mask.sum())
+            if count:
+                lines = segment.draw(rng, count)
+                addresses[mask] = base + lines * ACCESS_GRANULARITY
+                flags[mask] |= flag
+
+        # --- end-of-phase output bursts -------------------------------------
+        count = int(in_burst.sum())
+        if count:
+            sequential = np.cumsum(in_burst) - 1
+            out_lines = sequential[in_burst] % max(1, p.output_lines)
+            addresses[in_burst] = OUTPUT_BASE + out_lines * ACCESS_GRANULARITY
+            flags[in_burst] |= FLAG_WRITE
+
+        return Trace(sms, addresses, flags)

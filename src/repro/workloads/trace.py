@@ -1,0 +1,135 @@
+"""Trace containers.
+
+A trace is a time-ordered stream of L1-level memory accesses, column-stored
+in numpy arrays (SM id, byte address, flags) for compactness; the simulator
+converts columns to Python lists once per run for fast iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package-level import cycle
+    from repro.gpu.kernel import KernelDescriptor
+
+FLAG_WRITE = 0x1
+FLAG_LOCAL = 0x2
+FLAG_CONST = 0x4
+FLAG_TEXTURE = 0x8
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One decoded access (convenience view; the hot path uses columns)."""
+
+    sm: int
+    address: int
+    is_write: bool
+    is_local: bool
+    is_const: bool = False
+    is_texture: bool = False
+
+    @property
+    def space(self) -> str:
+        """Address space: global, local, const or texture."""
+        if self.is_const:
+            return "const"
+        if self.is_texture:
+            return "texture"
+        if self.is_local:
+            return "local"
+        return "global"
+
+
+class Trace:
+    """Column-stored access stream."""
+
+    def __init__(self, sm: np.ndarray, address: np.ndarray, flags: np.ndarray) -> None:
+        if not (len(sm) == len(address) == len(flags)):
+            raise TraceError("trace columns must have equal length")
+        if len(sm) == 0:
+            raise TraceError("trace must contain at least one access")
+        if address.min() < 0:
+            raise TraceError("addresses must be non-negative")
+        self.sm = np.ascontiguousarray(sm, dtype=np.int16)
+        self.address = np.ascontiguousarray(address, dtype=np.int64)
+        self.flags = np.ascontiguousarray(flags, dtype=np.uint8)
+
+    def __len__(self) -> int:
+        return len(self.sm)
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of accesses that are writes."""
+        return float(np.mean((self.flags & FLAG_WRITE) != 0))
+
+    @property
+    def local_fraction(self) -> float:
+        """Fraction of accesses to local (per-thread) data."""
+        return float(np.mean((self.flags & FLAG_LOCAL) != 0))
+
+    @property
+    def const_fraction(self) -> float:
+        """Fraction of constant-memory reads."""
+        return float(np.mean((self.flags & FLAG_CONST) != 0))
+
+    @property
+    def texture_fraction(self) -> float:
+        """Fraction of texture reads."""
+        return float(np.mean((self.flags & FLAG_TEXTURE) != 0))
+
+    def columns(self) -> Tuple[List[int], List[int], List[int]]:
+        """Python-list views for fast interpreter-level iteration."""
+        return self.sm.tolist(), self.address.tolist(), self.flags.tolist()
+
+    def records(self) -> Iterator[MemoryAccess]:
+        """Decode accesses one by one (tests/analysis; slow path)."""
+        for sm, address, flags in zip(*self.columns()):
+            yield MemoryAccess(
+                sm=sm,
+                address=address,
+                is_write=bool(flags & FLAG_WRITE),
+                is_local=bool(flags & FLAG_LOCAL),
+                is_const=bool(flags & FLAG_CONST),
+                is_texture=bool(flags & FLAG_TEXTURE),
+            )
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """Sub-trace [start:stop) (phase analysis)."""
+        if not 0 <= start < stop <= len(self):
+            raise TraceError(f"bad slice [{start}:{stop}) of {len(self)}-entry trace")
+        return Trace(self.sm[start:stop], self.address[start:stop], self.flags[start:stop])
+
+    def save(self, path) -> None:
+        """Persist the trace as a compressed ``.npz`` file."""
+        np.savez_compressed(
+            path, sm=self.sm, address=self.address, flags=self.flags
+        )
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        """Load a trace written by :meth:`save`."""
+        try:
+            with np.load(path) as data:
+                return cls(data["sm"], data["address"], data["flags"])
+        except (OSError, KeyError, ValueError) as error:
+            raise TraceError(f"cannot load trace from {path}: {error}") from error
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A kernel descriptor plus its access trace."""
+
+    name: str
+    kernel: "KernelDescriptor"
+    trace: Trace
+
+    @property
+    def num_accesses(self) -> int:
+        """Trace length."""
+        return len(self.trace)

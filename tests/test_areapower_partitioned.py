@@ -1,0 +1,88 @@
+"""Tests for the subarray-partitioning explorer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.areapower.partitioned import Organization, explore, optimal_organization
+from repro.areapower.technology import TECH_32NM, TECH_40NM
+from repro.errors import ConfigurationError
+from repro.units import KB, MB
+
+
+class TestExplore:
+    @pytest.fixture(scope="class")
+    def organizations(self):
+        return explore(384 * KB)
+
+    def test_power_of_two_counts(self, organizations):
+        counts = [org.num_subarrays for org in organizations]
+        assert counts[0] == 1
+        for previous, current in zip(counts, counts[1:]):
+            assert current == 2 * previous
+
+    def test_capacity_conserved(self, organizations):
+        for org in organizations:
+            assert org.num_subarrays * org.rows * org.cols == 384 * KB * 8
+
+    def test_delay_improves_with_partitioning(self, organizations):
+        """The CACTI trend: shorter wordlines/bitlines -> faster access."""
+        assert organizations[-1].access_delay_s < organizations[0].access_delay_s / 5
+
+    def test_dynamic_energy_improves_with_partitioning(self, organizations):
+        assert organizations[-1].access_energy_j < organizations[0].access_energy_j
+
+    def test_leakage_and_area_worsen_with_partitioning(self, organizations):
+        """Replicated periphery is the price of fine partitioning."""
+        assert organizations[-1].leakage_w > organizations[0].leakage_w
+        assert organizations[-1].area_m2 > organizations[0].area_m2
+
+    def test_subarrays_near_square(self, organizations):
+        for org in organizations:
+            assert org.cols / org.rows <= 4
+
+    def test_small_bank_has_fewer_options(self):
+        small = explore(8 * KB)
+        large = explore(4 * MB)
+        assert len(small) < len(large)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            explore(0)
+        with pytest.raises(ConfigurationError):
+            explore(384 * KB, max_subarrays=100)
+        with pytest.raises(ConfigurationError):
+            explore(64, line_bytes=256)  # cannot hold one line
+
+
+class TestOptimal:
+    def test_edp_optimal_is_partitioned(self):
+        best = optimal_organization(384 * KB)
+        assert best.num_subarrays > 1
+
+    def test_edp_optimal_minimizes_edp(self):
+        best = optimal_organization(384 * KB)
+        for org in explore(384 * KB):
+            assert best.edp <= org.edp
+
+    def test_edap_penalizes_replication(self):
+        """Area-aware optimization never picks *more* subarrays than EDP."""
+        edp = optimal_organization(1536 * KB, objective="edp")
+        edap = optimal_organization(1536 * KB, objective="edap")
+        assert edap.num_subarrays <= edp.num_subarrays
+
+    def test_unknown_objective(self):
+        with pytest.raises(ConfigurationError):
+            optimal_organization(384 * KB, objective="power")
+
+    def test_scaling_shrinks_delay(self):
+        at40 = optimal_organization(384 * KB, tech=TECH_40NM)
+        at32 = optimal_organization(384 * KB, tech=TECH_32NM)
+        assert at32.access_delay_s < at40.access_delay_s
+
+    @given(st.sampled_from([64 * KB, 256 * KB, 1536 * KB]))
+    def test_optimal_within_explored_set(self, capacity):
+        organizations = explore(capacity)
+        best = optimal_organization(capacity)
+        assert any(
+            org.num_subarrays == best.num_subarrays for org in organizations
+        )

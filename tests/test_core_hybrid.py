@@ -1,0 +1,82 @@
+"""Tests for the hybrid (SRAM LR + STT HR) organization — ref [16]."""
+
+import pytest
+
+from repro.core import TwoPartSTTL2
+from repro.errors import ConfigurationError
+from repro.units import KB, US
+
+
+def make(lr_technology="sram", **kwargs):
+    defaults = dict(
+        hr_capacity_bytes=32 * KB,
+        hr_associativity=4,
+        lr_capacity_bytes=8 * KB,
+        lr_associativity=2,
+        lr_technology=lr_technology,
+    )
+    defaults.update(kwargs)
+    return TwoPartSTTL2(**defaults)
+
+
+class TestHybridOrganization:
+    def test_protocol_identical(self):
+        """Migration behaviour is technology-independent."""
+        hybrid, stt = make("sram"), make("stt")
+        now = 0.0
+        for i in range(1500):
+            now += 1e-9
+            for l2 in (hybrid, stt):
+                l2.access((i % 80) * 256, is_write=(i % 3 == 0), now=now)
+        assert hybrid.migrations_to_lr == stt.migrations_to_lr
+        assert hybrid.lr_data_writes == stt.lr_data_writes
+        assert hybrid.stats.hit_rate == pytest.approx(stt.stats.hit_rate)
+
+    def test_sram_lr_never_refreshes(self):
+        hybrid = make("sram", lr_retention_s=40 * US)
+        hybrid.access(0x1000, is_write=True, now=1e-9)
+        hybrid.access(0x1000, is_write=True, now=2e-9)  # migrate to LR
+        # idle long past any STT retention window
+        now = 2e-9
+        for _ in range(60):
+            now += 5 * US
+            hybrid.access(0x90000, is_write=False, now=now)
+        assert hybrid.refresh_writes == 0
+        assert hybrid.data_losses == 0
+        assert hybrid.access(0x1000, is_write=False, now=now + 1e-9).hit, \
+            "SRAM LR data never expires"
+
+    def test_stt_lr_would_have_refreshed(self):
+        stt = make("stt", lr_retention_s=40 * US)
+        stt.access(0x1000, is_write=True, now=1e-9)
+        stt.access(0x1000, is_write=True, now=2e-9)
+        now = 2e-9
+        for _ in range(60):
+            now += 5 * US
+            stt.access(0x90000, is_write=False, now=now)
+        assert stt.refresh_writes > 0
+
+    def test_leakage_tradeoff(self):
+        """The hybrid buys refresh-free fast writes with SRAM leakage+area."""
+        hybrid, stt = make("sram"), make("stt")
+        assert hybrid.leakage_power > 2 * stt.leakage_power
+        assert hybrid.area > 1.3 * stt.area
+
+    def test_sram_lr_write_cheap(self):
+        hybrid, stt = make("sram"), make("stt")
+        assert hybrid.lr_model.data_write_energy < stt.lr_model.data_write_energy
+
+    def test_latency_aliases_work(self):
+        hybrid = make("sram")
+        result_miss = hybrid.access(0x1000, is_write=True, now=1e-9)
+        result = hybrid.access(0x1000, is_write=True, now=2e-9)  # migrate
+        assert result.part == "lr"
+        assert result.latency_s > 0
+
+    def test_unknown_lr_technology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make("edram")
+
+    def test_no_lr_counter_bits_in_sram_tags(self):
+        hybrid, stt = make("sram"), make("stt")
+        assert hybrid.lr_model.tag_record_bits < stt.lr_model.tag_record_bits

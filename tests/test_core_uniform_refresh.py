@@ -1,0 +1,154 @@
+"""Tests for the uniform L2 baselines and the refresh engine."""
+
+import pytest
+
+from repro.cache.array import SetAssociativeCache
+from repro.core.refresh import RefreshEngine, cell_age
+from repro.core.retention_counter import RetentionCounterSpec
+from repro.core.uniform import UniformL2
+from repro.errors import ConfigurationError
+from repro.units import KB, MS, US
+
+
+class TestUniformL2:
+    def make(self, technology="sram"):
+        return UniformL2(64 * KB, 8, 256, technology=technology)
+
+    def test_miss_then_hit(self):
+        l2 = self.make()
+        miss = l2.access(0x1000, is_write=False, now=0.0)
+        assert not miss.hit and miss.dram_fetch
+        hit = l2.access(0x1000, is_write=False, now=1e-9)
+        assert hit.hit and not hit.dram_fetch
+
+    def test_dirty_eviction_reports_writeback(self):
+        l2 = UniformL2(2 * 256, 1, 256, technology="sram")  # 2 lines
+        l2.access(0x0000, is_write=True, now=0.0)
+        outcome = l2.access(0x0000 + 2 * 256, is_write=False, now=1e-9)
+        assert outcome.dram_writebacks == 1
+
+    def test_stt_write_latency_exceeds_read(self):
+        l2 = self.make("stt")
+        l2.access(0x1000, is_write=False, now=0.0)
+        read = l2.access(0x1000, is_write=False, now=1e-9)
+        write = l2.access(0x1000, is_write=True, now=2e-9)
+        assert write.latency_s > read.latency_s
+
+    def test_sram_symmetric_latency(self):
+        l2 = self.make("sram")
+        l2.access(0x1000, is_write=False, now=0.0)
+        read = l2.access(0x1000, is_write=False, now=1e-9)
+        write = l2.access(0x1000, is_write=True, now=2e-9)
+        assert write.latency_s == pytest.approx(read.latency_s)
+
+    def test_energy_accumulates(self):
+        l2 = self.make()
+        l2.access(0x1000, is_write=False, now=0.0)
+        first = l2.energy.total_j
+        l2.access(0x2000, is_write=True, now=1e-9)
+        assert l2.energy.total_j > first
+
+    def test_fill_from_dram(self):
+        l2 = self.make()
+        result = l2.fill_from_dram(0x3000, now=0.0, dirty=True)
+        assert l2.array.probe(0x3000)
+        assert result.energy_j > 0
+
+    def test_dirty_lines_counted(self):
+        l2 = self.make()
+        l2.access(0x1000, is_write=True, now=0.0)
+        l2.access(0x2000, is_write=False, now=1e-9)
+        assert l2.dirty_lines() == 1
+
+    def test_unknown_technology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformL2(64 * KB, 8, 256, technology="pcm")
+
+    def test_stt_leaks_less_than_sram(self):
+        assert self.make("stt").leakage_power < self.make("sram").leakage_power
+
+    def test_data_writes_counted(self):
+        l2 = self.make()
+        l2.access(0x1000, is_write=True, now=0.0)   # miss -> dirty fill
+        l2.access(0x1000, is_write=True, now=1e-9)  # write hit
+        assert l2.data_writes == 2
+
+
+class TestCellAge:
+    def test_age_from_fill(self):
+        from repro.cache.block import CacheBlock
+
+        block = CacheBlock()
+        block.fill(0x1, now=2.0)
+        assert cell_age(block, 5.0) == pytest.approx(3.0)
+
+    def test_age_resets_on_write(self):
+        from repro.cache.block import CacheBlock
+
+        block = CacheBlock()
+        block.fill(0x1, now=0.0)
+        block.record_write(now=4.0)
+        assert cell_age(block, 5.0) == pytest.approx(1.0)
+
+
+class TestRefreshEngine:
+    def make_engine(self, lr_ret=40 * US, hr_ret=40 * MS):
+        lr = SetAssociativeCache(4 * KB, 2, 256)
+        hr = SetAssociativeCache(16 * KB, 4, 256)
+        engine = RefreshEngine(
+            lr, hr,
+            RetentionCounterSpec(4, lr_ret),
+            RetentionCounterSpec(2, hr_ret),
+        )
+        return lr, hr, engine
+
+    def test_not_due_immediately(self):
+        _, _, engine = self.make_engine()
+        assert not engine.due(0.0)
+
+    def test_due_after_tick(self):
+        _, _, engine = self.make_engine()
+        assert engine.due(3 * US)
+
+    def test_lr_refresh_scheduled_in_window(self):
+        lr, _, engine = self.make_engine()
+        lr.access(0x100, is_write=True, now=0.0)
+        # sweep inside the refresh window (retention 40us, window from 35us)
+        actions = engine.sweep(36 * US)
+        assert actions.lr_refresh == [0x100]
+        assert engine.stats.lr_refreshes == 1
+
+    def test_lr_expiry_detected(self):
+        lr, _, engine = self.make_engine()
+        lr.access(0x100, is_write=True, now=0.0)
+        actions = engine.sweep(50 * US)
+        assert actions.lr_lost == [0x100]
+        assert engine.stats.lr_expiries == 1
+
+    def test_fresh_lr_block_untouched(self):
+        lr, _, engine = self.make_engine()
+        lr.access(0x100, is_write=True, now=0.0)
+        actions = engine.sweep(5 * US)
+        assert actions.lr_refresh == [] and actions.lr_lost == []
+
+    def test_hr_dirty_expiry_writes_back(self):
+        _, hr, engine = self.make_engine(hr_ret=1 * MS)
+        hr.access(0x200, is_write=True, now=0.0)
+        actions = engine.sweep(2 * MS)
+        assert actions.hr_drop_dirty == [0x200]
+
+    def test_hr_clean_expiry_invalidates(self):
+        _, hr, engine = self.make_engine(hr_ret=1 * MS)
+        hr.access(0x200, is_write=False, now=0.0)
+        actions = engine.sweep(2 * MS)
+        assert actions.hr_drop_clean == [0x200]
+
+    def test_sweep_advances_schedule(self):
+        _, _, engine = self.make_engine()
+        engine.sweep(3 * US)
+        assert not engine.due(4 * US)
+
+    def test_invalid_blocks_ignored(self):
+        lr, _, engine = self.make_engine()
+        actions = engine.sweep(100 * US)
+        assert actions.lr_refresh == [] and actions.lr_lost == []

@@ -1,0 +1,164 @@
+"""Tests for the trace-driven GPU simulator and its IPC/power model."""
+
+import pytest
+
+from repro.config import all_configs, baseline_sram, baseline_stt, config_c1, config_c2
+from repro.errors import SimulationError
+from repro.gpu.simulator import GPUSimulator, simulate
+from repro.workloads import build_workload
+
+TRACE = 4000  # small traces keep the unit tests fast
+
+
+@pytest.fixture(scope="module")
+def bfs_results():
+    # bfs needs a longer trace than TRACE for its 1.1 MB hot set to show
+    # reuse; 10k keeps the module under a few seconds
+    wl = build_workload("bfs", num_accesses=10_000, seed=3)
+    return {name: simulate(cfg, wl) for name, cfg in all_configs().items()}
+
+
+class TestBasicInvariants:
+    def test_ipc_positive_and_bounded(self, bfs_results):
+        for result in bfs_results.values():
+            assert 0 < result.ipc <= 32 * 15
+
+    def test_utilization_bounded(self, bfs_results):
+        for result in bfs_results.values():
+            assert 0 < result.utilization <= 1.0
+
+    def test_hit_rates_bounded(self, bfs_results):
+        for result in bfs_results.values():
+            assert 0 <= result.l1_hit_rate <= 1
+            assert 0 <= result.l2_hit_rate <= 1
+
+    def test_sim_time_positive(self, bfs_results):
+        for result in bfs_results.values():
+            assert result.sim_time_s > 0
+
+    def test_power_components_positive(self, bfs_results):
+        for result in bfs_results.values():
+            assert result.l2_dynamic_power_w > 0
+            assert result.l2_leakage_power_w > 0
+            assert result.l2_total_power_w == pytest.approx(
+                result.l2_dynamic_power_w + result.l2_leakage_power_w
+            )
+
+    def test_deterministic(self):
+        wl = build_workload("kmeans", num_accesses=1500, seed=5)
+        a = simulate(baseline_sram(), wl)
+        b = simulate(baseline_sram(), wl)
+        assert a.ipc == b.ipc
+        assert a.l2_dynamic_energy_j == b.l2_dynamic_energy_j
+
+    def test_bound_by_reported(self, bfs_results):
+        for result in bfs_results.values():
+            assert result.bound_by in ("latency", "dram-bandwidth", "l2-banks")
+
+
+class TestPaperShapes:
+    """The headline comparisons the reproduction must preserve."""
+
+    def test_c1_beats_baseline_on_cache_friendly(self, bfs_results):
+        assert bfs_results["C1"].speedup_over(bfs_results["baseline"]) > 1.1
+
+    def test_c1_at_least_matches_stt_baseline(self, bfs_results):
+        assert bfs_results["C1"].ipc >= bfs_results["stt-baseline"].ipc * 0.98
+
+    def test_stt_leakage_far_below_sram(self, bfs_results):
+        assert (
+            bfs_results["C1"].l2_leakage_power_w
+            < 0.6 * bfs_results["baseline"].l2_leakage_power_w
+        )
+
+    def test_c2_saves_most_total_power(self, bfs_results):
+        base = bfs_results["baseline"]
+        ratios = {
+            name: bfs_results[name].total_power_ratio(base)
+            for name in ("stt-baseline", "C1", "C2", "C3")
+        }
+        assert ratios["C2"] == min(ratios.values())
+        assert ratios["C2"] < ratios["C3"] < ratios["C1"] < ratios["stt-baseline"]
+
+    def test_stt_baseline_dynamic_power_highest(self, bfs_results):
+        base = bfs_results["baseline"]
+        assert (
+            bfs_results["stt-baseline"].dynamic_power_ratio(base)
+            > bfs_results["C1"].dynamic_power_ratio(base)
+        )
+
+    def test_lr_absorbs_majority_of_writes(self, bfs_results):
+        """The LR part must host the WWS for a write-skewed benchmark."""
+        c1 = bfs_results["C1"]
+        assert c1.lr_write_share is not None and c1.lr_write_share > 0.3
+
+    def test_no_data_losses(self, bfs_results):
+        assert bfs_results["C1"].data_losses == 0
+
+    def test_buffer_overflows_rare(self, bfs_results):
+        """The paper's worst case write-back overhead is ~1%."""
+        assert bfs_results["C1"].buffer_overflow_rate is not None
+        assert bfs_results["C1"].buffer_overflow_rate < 0.05
+
+    def test_register_insensitive_benchmark_flat_on_c2(self):
+        wl = build_workload("tpacf", num_accesses=TRACE, seed=3)
+        base = simulate(baseline_sram(), wl)
+        c2 = simulate(config_c2(), wl)
+        assert c2.speedup_over(base) == pytest.approx(1.0, abs=0.05)
+
+    def test_c2_occupancy_boost_on_register_limited(self):
+        wl = build_workload("mri-gridding", num_accesses=TRACE, seed=3)
+        base = simulate(baseline_sram(), wl)
+        c2 = simulate(config_c2(), wl)
+        assert c2.warps_per_sm > base.warps_per_sm
+
+
+class TestMetricsHelpers:
+    def test_speedup_identity(self, bfs_results):
+        base = bfs_results["baseline"]
+        assert base.speedup_over(base) == pytest.approx(1.0)
+
+    def test_speedup_zero_baseline_raises(self, bfs_results):
+        import dataclasses
+
+        base = bfs_results["baseline"]
+        broken = dataclasses.replace(base, ipc=0.0)
+        with pytest.raises(ZeroDivisionError):
+            base.speedup_over(broken)
+
+    def test_energy_breakdown_sums(self, bfs_results):
+        for result in bfs_results.values():
+            breakdown = result.energy_breakdown
+            assert breakdown["total_j"] == pytest.approx(
+                breakdown["demand_j"] + breakdown["migration_j"]
+                + breakdown["refresh_j"] + breakdown["fill_j"]
+            )
+            assert breakdown["total_j"] == pytest.approx(result.l2_dynamic_energy_j)
+
+    def test_uniform_l2_has_no_twopart_extras(self, bfs_results):
+        assert bfs_results["baseline"].lr_write_share is None
+        assert bfs_results["baseline"].migrations_to_lr is None
+
+
+class TestSimulatorValidation:
+    def test_rejects_bad_time_dilation(self):
+        wl = build_workload("nn", num_accesses=100, seed=0)
+        with pytest.raises(SimulationError):
+            GPUSimulator(baseline_sram(), wl, time_dilation=0.0)
+
+    def test_rejects_trace_with_too_many_sms(self):
+        wl = build_workload("nn", num_accesses=100, num_sms=15, seed=0)
+        import dataclasses
+
+        config = dataclasses.replace(baseline_sram(), num_sms=4)
+        with pytest.raises(SimulationError):
+            GPUSimulator(config, wl).run()
+
+    def test_custom_l2_injection(self):
+        from repro.core import UniformL2
+
+        wl = build_workload("nn", num_accesses=500, seed=0)
+        l2 = UniformL2(384 * 1024, 8, 256, technology="sram")
+        result = GPUSimulator(baseline_sram(), wl, l2=l2).run()
+        assert result.l2_requests > 0
+        assert l2.stats.accesses == result.l2_requests

@@ -1,0 +1,113 @@
+"""Tests for the Early Write Termination model and its integration."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.areapower.sttram_array import STTDataArrayModel
+from repro.core import TwoPartSTTL2, UniformL2
+from repro.errors import DeviceModelError
+from repro.sttram.ewt import EWTModel
+from repro.sttram.retention import retention_catalogue
+from repro.units import KB
+
+CAT = retention_catalogue()
+
+
+class TestEWTModel:
+    def test_per_bit_factor(self):
+        ewt = EWTModel(flip_fraction=0.35, granularity_bits=1,
+                       comparison_overhead=0.04)
+        assert ewt.write_energy_factor == pytest.approx(0.39)
+
+    def test_savings_complement(self):
+        ewt = EWTModel(flip_fraction=0.3)
+        assert ewt.savings() == pytest.approx(1.0 - ewt.write_energy_factor)
+
+    def test_coarser_granularity_saves_less(self):
+        fine = EWTModel(flip_fraction=0.2, granularity_bits=1)
+        coarse = EWTModel(flip_fraction=0.2, granularity_bits=8)
+        assert coarse.write_energy_factor > fine.write_energy_factor
+
+    def test_all_bits_flip_means_overhead_only(self):
+        ewt = EWTModel(flip_fraction=1.0, comparison_overhead=0.04)
+        assert ewt.write_energy_factor == pytest.approx(1.04)
+        assert ewt.savings() == 0.0
+
+    def test_no_flips_costs_overhead_only(self):
+        ewt = EWTModel(flip_fraction=0.0, comparison_overhead=0.04)
+        assert ewt.write_energy_factor == pytest.approx(0.04)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(DeviceModelError):
+            EWTModel(flip_fraction=1.5)
+        with pytest.raises(DeviceModelError):
+            EWTModel(granularity_bits=0)
+        with pytest.raises(DeviceModelError):
+            EWTModel(comparison_overhead=-0.1)
+
+    @given(st.floats(min_value=0, max_value=1),
+           st.integers(min_value=1, max_value=64))
+    def test_factor_bounded(self, flip, granularity):
+        ewt = EWTModel(flip_fraction=flip, granularity_bits=granularity)
+        assert 0 <= ewt.write_energy_factor <= 1.0 + ewt.comparison_overhead
+
+    @given(st.floats(min_value=0, max_value=1))
+    def test_group_probability_at_least_bit_probability(self, flip):
+        fine = EWTModel(flip_fraction=flip, granularity_bits=1)
+        coarse = EWTModel(flip_fraction=flip, granularity_bits=4)
+        assert coarse.group_write_probability >= fine.group_write_probability
+
+
+class TestEWTIntegration:
+    def test_array_write_energy_reduced(self):
+        plain = STTDataArrayModel(192 * KB, 256, CAT["hr"])
+        ewt = STTDataArrayModel(192 * KB, 256, CAT["hr"], ewt=EWTModel())
+        assert ewt.write_energy < plain.write_energy
+
+    def test_read_energy_unchanged(self):
+        plain = STTDataArrayModel(192 * KB, 256, CAT["hr"])
+        ewt = STTDataArrayModel(192 * KB, 256, CAT["hr"], ewt=EWTModel())
+        assert ewt.read_energy == plain.read_energy
+
+    def test_write_latency_unchanged(self):
+        """EWT saves energy, not latency (the worst bit needs the pulse)."""
+        plain = STTDataArrayModel(192 * KB, 256, CAT["hr"])
+        ewt = STTDataArrayModel(192 * KB, 256, CAT["hr"], ewt=EWTModel())
+        assert ewt.write_latency == plain.write_latency
+
+    def test_twopart_with_ewt_spends_less(self):
+        def run(enabled):
+            l2 = TwoPartSTTL2(
+                32 * KB, 4, 8 * KB, 2, early_write_termination=enabled
+            )
+            for i in range(300):
+                l2.access((i % 40) * 256, is_write=True, now=(i + 1) * 1e-9)
+            return l2.energy.total_j
+
+        assert run(True) < run(False)
+
+    def test_uniform_stt_with_ewt(self):
+        plain = UniformL2(64 * KB, 8, 256, technology="stt")
+        ewt = UniformL2(64 * KB, 8, 256, technology="stt",
+                        early_write_termination=True)
+        assert ewt.model.write_hit_energy < plain.model.write_hit_energy
+
+    def test_ewt_flag_ignored_for_sram(self):
+        plain = UniformL2(64 * KB, 8, 256, technology="sram")
+        flagged = UniformL2(64 * KB, 8, 256, technology="sram",
+                            early_write_termination=True)
+        assert flagged.model.write_hit_energy == plain.model.write_hit_energy
+
+    def test_l2config_plumbing(self):
+        from repro.config import L2Config, L2PartConfig
+        from repro.core import build_l2
+
+        config = L2Config(
+            kind="twopart",
+            main=L2PartConfig(1344 * KB, 7),
+            lr=L2PartConfig(192 * KB, 2),
+            early_write_termination=True,
+        )
+        l2 = build_l2(config)
+        assert isinstance(l2, TwoPartSTTL2)
+        assert l2.hr_model.ewt is not None
