@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Docs link checker: every relative markdown link must resolve.
+
+Scans markdown files (by default ``README.md`` and everything under
+``docs/``) for ``[text](target)`` links and verifies that each relative
+target exists on disk.  External links (``http(s)://``, ``mailto:``) and
+pure in-page anchors (``#section``) are skipped; a trailing ``#anchor`` on
+a file target is stripped before the existence check.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per broken
+link on stderr).  Used by CI and ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def broken_links(path: Path) -> List[Tuple[str, str]]:
+    """All (target, reason) pairs for unresolvable links in ``path``."""
+    failures: List[Tuple[str, str]] = []
+    for target in LINK_RE.findall(path.read_text()):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            failures.append((target, f"missing {resolved}"))
+    return failures
+
+
+def default_files(root: Path) -> List[Path]:
+    """The default scan set: README.md plus every markdown file in docs/."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("**/*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check(files: Iterable[Path]) -> List[str]:
+    """Check every file; returns human-readable failure lines."""
+    lines = []
+    for path in files:
+        for target, reason in broken_links(path):
+            lines.append(f"{path}: broken link {target!r} ({reason})")
+    return lines
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point: ``check_docs_links.py [FILE ...]``."""
+    root = Path(__file__).resolve().parent.parent
+    files = [Path(a) for a in argv] if argv else default_files(root)
+    failures = check(files)
+    for line in failures:
+        print(line, file=sys.stderr)
+    if not failures:
+        print(f"ok: {len(files)} file(s), all relative links resolve")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -21,26 +21,46 @@ from typing import List, Optional
 
 from repro.config import all_configs
 from repro.experiments.common import DEFAULT_TRACE_LENGTH
-from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.parallel import run_battery
+from repro.experiments.runner import EXPERIMENTS
 from repro.gpu.simulator import simulate
 from repro.workloads.profiles import PROFILES
 from repro.workloads.suite import build_workload, suite_names
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    results = {}
-    for name in args.names or list(EXPERIMENTS):
-        if name not in EXPERIMENTS:
-            print(f"unknown experiment {name!r}; choose from {EXPERIMENTS}",
-                  file=sys.stderr)
-            return 2
-        result = run_experiment(
-            name,
-            trace_length=args.trace_length,
-            benchmarks=args.benchmarks,
-            seed=args.seed,
+    names = list(args.names) if args.names else list(EXPERIMENTS)
+    unknown = sorted(set(names) - set(EXPERIMENTS))
+    if unknown:
+        print(
+            f"repro-sttgpu experiments: unknown experiment(s): "
+            f"{', '.join(repr(n) for n in unknown)}",
+            file=sys.stderr,
         )
-        results[name] = result
+        print(f"choose from: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        print(
+            "usage: repro-sttgpu experiments [NAME ...] [--jobs N] "
+            "[--cache-dir DIR] [--manifest FILE] (try --help)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.jobs < 1:
+        print(
+            f"repro-sttgpu experiments: --jobs must be >= 1, got {args.jobs}",
+            file=sys.stderr,
+        )
+        return 2
+    results, telemetry = run_battery(
+        names,
+        trace_length=args.trace_length,
+        benchmarks=args.benchmarks,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    for name in names:
+        result = results[name]
         print(result.render())
         if args.bars:
             bars = result.render_bars()
@@ -48,6 +68,14 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
                 print()
                 print(bars)
         print()
+    if args.manifest:
+        telemetry.write(args.manifest)
+        print(
+            f"wrote manifest {args.manifest} "
+            f"({telemetry.cache_hits} cache hits, "
+            f"{telemetry.cache_misses} misses, "
+            f"{telemetry.wall_time_s:.2f}s)"
+        )
     if args.json:
         from repro.io import save_experiments
 
@@ -114,6 +142,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--trace-length", type=int, default=DEFAULT_TRACE_LENGTH)
     p_exp.add_argument("--benchmarks", nargs="*", default=None)
     p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="fan jobs out over N worker processes (default 1)")
+    p_exp.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="content-keyed result cache directory")
+    p_exp.add_argument("--no-cache", action="store_true",
+                       help="ignore the result cache even if --cache-dir is set")
+    p_exp.add_argument("--manifest", metavar="FILE", default=None,
+                       help="write the run telemetry manifest to FILE")
     p_exp.add_argument("--json", metavar="FILE", default=None,
                        help="also write results to FILE as JSON")
     p_exp.add_argument("--bars", action="store_true",

@@ -4,11 +4,19 @@ Replays each benchmark through the L1s into a baseline-geometry L2 array and
 reports the write COVs.  The paper's observation: benchmarks differ wildly —
 irregular ones (bfs-like) exceed 100% inter-set COV while stencil-like codes
 write evenly — which motivates a dedicated write-favouring (LR) region.
+
+Job decomposition
+-----------------
+One job per benchmark: :func:`compute` measures a single benchmark and
+returns a JSON-safe payload; :func:`merge` deterministically assembles the
+payloads (in benchmark order) into the :class:`ExperimentResult`.  The
+serial :func:`run` path is literally ``merge(names, [compute(n) ...])``, so
+parallel and serial execution share every arithmetic step.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.cov import write_variation
 from repro.cache.array import SetAssociativeCache
@@ -23,30 +31,43 @@ from repro.workloads.profiles import PROFILES
 from repro.workloads.suite import build_workload, suite_names
 
 
-def run(
+def compute(
+    benchmark: str,
     trace_length: int = DEFAULT_TRACE_LENGTH,
-    benchmarks: Optional[Iterable[str]] = None,
     seed: int = 0,
-) -> ExperimentResult:
-    """Compute write COVs for each benchmark on the baseline L2 geometry."""
-    names = list(benchmarks) if benchmarks is not None else suite_names()
+) -> Dict[str, Any]:
+    """One job: write COVs for ``benchmark`` on the baseline L2 geometry.
+
+    Returns a JSON-safe payload (floats/ints only) so results can be cached
+    on disk and shipped across process boundaries unchanged.
+    """
+    workload = build_workload(benchmark, num_accesses=trace_length, seed=seed)
+    l2 = SetAssociativeCache(384 * KB, 8, 256, name="fig3-l2")
+    replay_through_l1(workload, l2.access)
+    variation = write_variation(l2)
+    pct = variation.as_percentages()
+    return {
+        "inter_set_pct": pct["inter_set_pct"],
+        "intra_set_pct": pct["intra_set_pct"],
+        "total_writes": variation.total_writes,
+        "counters": {"l2_writes": variation.total_writes},
+    }
+
+
+def merge(names: Sequence[str], payloads: Sequence[Dict[str, Any]]) -> ExperimentResult:
+    """Assemble per-benchmark payloads (in order) into the Fig. 3 table."""
     rows: List[List] = []
     inter_values, intra_values = [], []
-    for name in names:
-        workload = build_workload(name, num_accesses=trace_length, seed=seed)
-        l2 = SetAssociativeCache(384 * KB, 8, 256, name="fig3-l2")
-        replay_through_l1(workload, l2.access)
-        variation = write_variation(l2)
-        pct = variation.as_percentages()
+    for name, payload in zip(names, payloads):
         rows.append([
             name,
             PROFILES[name].region,
-            round(pct["inter_set_pct"], 1),
-            round(pct["intra_set_pct"], 1),
-            variation.total_writes,
+            round(payload["inter_set_pct"], 1),
+            round(payload["intra_set_pct"], 1),
+            payload["total_writes"],
         ])
-        inter_values.append(max(pct["inter_set_pct"], 1e-9))
-        intra_values.append(max(pct["intra_set_pct"], 1e-9))
+        inter_values.append(max(payload["inter_set_pct"], 1e-9))
+        intra_values.append(max(payload["intra_set_pct"], 1e-9))
     rows.append([
         "Gmean", "-", round(geomean(inter_values), 1), round(geomean(intra_values), 1), "-",
     ])
@@ -63,3 +84,14 @@ def run(
         rows=rows,
         extras=extras,
     )
+
+
+def run(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    benchmarks: Optional[Iterable[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Compute write COVs for each benchmark on the baseline L2 geometry."""
+    names = list(benchmarks) if benchmarks is not None else suite_names()
+    payloads = [compute(name, trace_length=trace_length, seed=seed) for name in names]
+    return merge(names, payloads)

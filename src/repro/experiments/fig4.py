@@ -8,11 +8,20 @@ reports, normalized to TH1:
 * the total data-write count (bottom panel) — lower thresholds migrate more
   aggressively but the write overhead stays small, which is the paper's
   argument for TH = 1 (the free dirty-bit monitor).
+
+Job decomposition
+-----------------
+One job per benchmark: :func:`compute` replays one benchmark at every
+threshold and returns a JSON-safe payload (threshold keys are strings so
+the payload survives a JSON round-trip through the result cache);
+:func:`merge` normalizes to TH1 and assembles the table.  ``run`` is
+``merge`` over inline ``compute`` calls, so serial and parallel paths share
+every arithmetic step.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.config import config_c1
 from repro.core.twopart import TwoPartSTTL2
@@ -40,40 +49,45 @@ def _build_twopart(threshold: int) -> TwoPartSTTL2:
     )
 
 
-def run(
+def compute(
+    benchmark: str,
     trace_length: int = DEFAULT_TRACE_LENGTH,
-    benchmarks: Optional[Iterable[str]] = None,
     seed: int = 0,
-) -> ExperimentResult:
-    """Sweep the migration threshold on the C1 geometry."""
-    names = list(benchmarks) if benchmarks is not None else suite_names()
-    # measure per benchmark x threshold
-    lr_hr_ratio: Dict[str, Dict[int, float]] = {}
-    total_writes: Dict[str, Dict[int, int]] = {}
-    for name in names:
-        workload = build_workload(name, num_accesses=trace_length, seed=seed)
-        lr_hr_ratio[name] = {}
-        total_writes[name] = {}
-        for threshold in THRESHOLDS:
-            l2 = _build_twopart(threshold)
-            replay_through_l1(workload, l2.access)
-            hr_writes = max(1, l2.hr_data_writes)
-            lr_hr_ratio[name][threshold] = l2.lr_data_writes / hr_writes
-            total_writes[name][threshold] = l2.total_data_writes
+) -> Dict[str, Any]:
+    """One job: raw threshold-sweep measurements for ``benchmark``."""
+    workload = build_workload(benchmark, num_accesses=trace_length, seed=seed)
+    lr_hr_ratio: Dict[str, float] = {}
+    total_writes: Dict[str, int] = {}
+    for threshold in THRESHOLDS:
+        l2 = _build_twopart(threshold)
+        replay_through_l1(workload, l2.access)
+        hr_writes = max(1, l2.hr_data_writes)
+        lr_hr_ratio[str(threshold)] = l2.lr_data_writes / hr_writes
+        total_writes[str(threshold)] = l2.total_data_writes
+    return {
+        "lr_hr_ratio": lr_hr_ratio,
+        "total_writes": total_writes,
+        "counters": {"total_data_writes_th1": total_writes["1"]},
+    }
 
+
+def merge(names: Sequence[str], payloads: Sequence[Dict[str, Any]]) -> ExperimentResult:
+    """Assemble per-benchmark payloads into the TH1-normalized table."""
     rows: List[List] = []
     norm_ratio_cols: Dict[int, List[float]] = {t: [] for t in THRESHOLDS}
     norm_total_cols: Dict[int, List[float]] = {t: [] for t in THRESHOLDS}
-    for name in names:
-        base_ratio = max(lr_hr_ratio[name][1], 1e-9)
-        base_total = max(total_writes[name][1], 1)
+    for name, payload in zip(names, payloads):
+        lr_hr_ratio = payload["lr_hr_ratio"]
+        total_writes = payload["total_writes"]
+        base_ratio = max(lr_hr_ratio["1"], 1e-9)
+        base_total = max(total_writes["1"], 1)
         row: List = [name]
         for threshold in THRESHOLDS:
-            value = lr_hr_ratio[name][threshold] / base_ratio
+            value = lr_hr_ratio[str(threshold)] / base_ratio
             row.append(round(value, 3))
             norm_ratio_cols[threshold].append(max(value, 1e-9))
         for threshold in THRESHOLDS:
-            value = total_writes[name][threshold] / base_total
+            value = total_writes[str(threshold)] / base_total
             row.append(round(value, 3))
             norm_total_cols[threshold].append(max(value, 1e-9))
         rows.append(row)
@@ -104,3 +118,14 @@ def run(
         rows=rows,
         extras=extras,
     )
+
+
+def run(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    benchmarks: Optional[Iterable[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Sweep the migration threshold on the C1 geometry."""
+    names = list(benchmarks) if benchmarks is not None else suite_names()
+    payloads = [compute(name, trace_length=trace_length, seed=seed) for name in names]
+    return merge(names, payloads)

@@ -5,11 +5,19 @@ reference), replays the suite through a C1-geometry two-part L2 and reports
 LR *write utilization* — the share of data writes absorbed by the LR part —
 normalized to the fully-associative organization.  The paper picks 2-way as
 the sweet spot between utilization and lookup complexity.
+
+Job decomposition
+-----------------
+One job per benchmark: :func:`compute` replays one benchmark at every
+associativity (string keys, JSON-safe); :func:`merge` normalizes to the
+fully-associative reference and assembles the table.  ``run`` is ``merge``
+over inline ``compute`` calls, so serial and parallel paths share every
+arithmetic step.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.config import config_c1
 from repro.core.twopart import TwoPartSTTL2
@@ -42,32 +50,33 @@ def _full_associativity() -> int:
     return l2cfg.lr.capacity_bytes // l2cfg.line_size
 
 
-def run(
+def compute(
+    benchmark: str,
     trace_length: int = DEFAULT_TRACE_LENGTH,
-    benchmarks: Optional[Iterable[str]] = None,
     seed: int = 0,
-) -> ExperimentResult:
-    """Sweep LR associativity on the C1 geometry."""
-    names = list(benchmarks) if benchmarks is not None else suite_names()
+) -> Dict[str, Any]:
+    """One job: LR write utilization per associativity for ``benchmark``."""
+    workload = build_workload(benchmark, num_accesses=trace_length, seed=seed)
     sweep = list(ASSOCIATIVITIES) + [_full_associativity()]
+    utilization: Dict[str, float] = {}
+    for assoc in sweep:
+        l2 = _build_twopart(assoc)
+        replay_through_l1(workload, l2.access)
+        utilization[str(assoc)] = l2.lr_write_share
+    return {"utilization": utilization}
 
-    utilization: Dict[str, Dict[int, float]] = {}
-    for name in names:
-        workload = build_workload(name, num_accesses=trace_length, seed=seed)
-        utilization[name] = {}
-        for assoc in sweep:
-            l2 = _build_twopart(assoc)
-            replay_through_l1(workload, l2.access)
-            utilization[name][assoc] = l2.lr_write_share
 
+def merge(names: Sequence[str], payloads: Sequence[Dict[str, Any]]) -> ExperimentResult:
+    """Assemble per-benchmark payloads into the normalized sweep table."""
+    full = _full_associativity()
     rows: List[List] = []
     norm_cols: Dict[int, List[float]] = {a: [] for a in ASSOCIATIVITIES}
-    full = sweep[-1]
-    for name in names:
-        reference = max(utilization[name][full], 1e-9)
+    for name, payload in zip(names, payloads):
+        utilization = payload["utilization"]
+        reference = max(utilization[str(full)], 1e-9)
         row: List = [name]
         for assoc in ASSOCIATIVITIES:
-            value = utilization[name][assoc] / reference
+            value = utilization[str(assoc)] / reference
             row.append(round(value, 3))
             norm_cols[assoc].append(max(value, 1e-9))
         rows.append(row)
@@ -89,3 +98,14 @@ def run(
         rows=rows,
         extras=extras,
     )
+
+
+def run(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    benchmarks: Optional[Iterable[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Sweep LR associativity on the C1 geometry."""
+    names = list(benchmarks) if benchmarks is not None else suite_names()
+    payloads = [compute(name, trace_length=trace_length, seed=seed) for name in names]
+    return merge(names, payloads)

@@ -4,11 +4,19 @@ Replays the suite through a C1-geometry two-part L2 with interval tracking
 on and buckets the times between successive demand writes to LR-resident
 lines.  The paper's observation — most LR rewrites land within ~10 us —
 justifies microsecond-scale LR retention.
+
+Job decomposition
+-----------------
+One job per benchmark: :func:`compute` replays one benchmark and returns
+the bucketed fractions (JSON-safe); :func:`merge` averages across
+benchmarks and assembles the table.  ``run`` is ``merge`` over inline
+``compute`` calls, so serial and parallel paths share every arithmetic
+step.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -23,30 +31,40 @@ from repro.experiments.common import (
 from repro.workloads.suite import build_workload, suite_names
 
 
-def run(
+def compute(
+    benchmark: str,
     trace_length: int = DEFAULT_TRACE_LENGTH,
-    benchmarks: Optional[Iterable[str]] = None,
     seed: int = 0,
-) -> ExperimentResult:
-    """Bucket LR rewrite intervals per benchmark on the C1 geometry."""
-    names = list(benchmarks) if benchmarks is not None else suite_names()
+) -> Dict[str, Any]:
+    """One job: LR rewrite-interval buckets for ``benchmark``."""
+    workload = build_workload(benchmark, num_accesses=trace_length, seed=seed)
+    l2 = build_l2(config_c1().l2, track_intervals=True)
+    replay_through_l1(workload, l2.access)
+    distribution = rewrite_interval_distribution(l2.rewrite_intervals)
+    fractions = distribution.fractions()
+    return {
+        "fractions": {label: fractions[label] for label, _ in REWRITE_BUCKETS},
+        "total": distribution.total,
+        "under_10us": distribution.fraction_under(10e-6),
+        "counters": {"rewrite_samples": distribution.total},
+    }
+
+
+def merge(names: Sequence[str], payloads: Sequence[Dict[str, Any]]) -> ExperimentResult:
+    """Assemble per-benchmark payloads into the Fig. 6 distribution table."""
     rows: List[List] = []
     all_fractions = []
     under_10us_shares = []
-    for name in names:
-        workload = build_workload(name, num_accesses=trace_length, seed=seed)
-        l2 = build_l2(config_c1().l2, track_intervals=True)
-        replay_through_l1(workload, l2.access)
-        distribution = rewrite_interval_distribution(l2.rewrite_intervals)
-        fractions = distribution.fractions()
+    for name, payload in zip(names, payloads):
+        fractions = payload["fractions"]
         rows.append(
             [name]
             + [round(fractions[label], 3) for label, _ in REWRITE_BUCKETS]
-            + [distribution.total]
+            + [payload["total"]]
         )
-        if distribution.total:
+        if payload["total"]:
             all_fractions.append([fractions[label] for label, _ in REWRITE_BUCKETS])
-            under_10us_shares.append(distribution.fraction_under(10e-6))
+            under_10us_shares.append(payload["under_10us"])
     if all_fractions:
         avg = np.mean(np.asarray(all_fractions), axis=0)
         rows.append(["AVG"] + [round(float(v), 3) for v in avg] + ["-"])
@@ -62,3 +80,14 @@ def run(
         rows=rows,
         extras=extras,
     )
+
+
+def run(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    benchmarks: Optional[Iterable[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Bucket LR rewrite intervals per benchmark on the C1 geometry."""
+    names = list(benchmarks) if benchmarks is not None else suite_names()
+    payloads = [compute(name, trace_length=trace_length, seed=seed) for name in names]
+    return merge(names, payloads)

@@ -11,11 +11,21 @@ the SRAM baseline:
 Shape targets (see DESIGN.md): C1 wins on average (paper: +16%, peaks over
 2x), the naive STT baseline trails C1 and hurts some write-heavy apps, C2
 wins total power by the largest margin, C3 sits between C1 and C2.
+
+Job decomposition
+-----------------
+One job per benchmark: :func:`compute` simulates one benchmark on all five
+Table 2 systems and returns the per-config metrics the normalization needs
+(JSON-safe floats); :func:`merge` computes the ratios and geometric means.
+``run`` is ``merge`` over inline ``compute`` calls, so serial and parallel
+paths share every arithmetic step.  The same per-benchmark jobs also feed
+the ``regions`` and ``variance`` experiments, which lets the parallel
+runner deduplicate and cache the expensive simulations across all three.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.config import all_configs
 from repro.experiments.common import (
@@ -49,36 +59,56 @@ def run_simulations(
     return results
 
 
-def run(
-    trace_length: int = DEFAULT_TRACE_LENGTH,
-    benchmarks: Optional[Iterable[str]] = None,
-    seed: int = 0,
-    results: Optional[Dict[str, Dict[str, SimulationResult]]] = None,
-) -> ExperimentResult:
-    """Build the Fig. 8 table (pass ``results`` to reuse simulations)."""
-    if results is None:
-        results = run_simulations(trace_length, benchmarks, seed)
+def payload_from_sims(per_config: Dict[str, SimulationResult]) -> Dict[str, Any]:
+    """Project one benchmark's simulations to the JSON-safe job payload."""
+    return {
+        "sims": {
+            config_name: {
+                "ipc": r.ipc,
+                "dynamic_power_w": r.l2_dynamic_power_w,
+                "leakage_power_w": r.l2_leakage_power_w,
+            }
+            for config_name, r in per_config.items()
+        },
+        "counters": {
+            "l2_requests": sum(r.l2_requests for r in per_config.values()),
+            "dram_accesses": sum(r.dram_accesses for r in per_config.values()),
+        },
+    }
 
+
+def compute(
+    benchmark: str,
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """One job: simulate ``benchmark`` on all Table 2 configs."""
+    per_config = run_simulations(trace_length, [benchmark], seed)[benchmark]
+    return payload_from_sims(per_config)
+
+
+def merge(names: Sequence[str], payloads: Sequence[Dict[str, Any]]) -> ExperimentResult:
+    """Assemble per-benchmark payloads into the Fig. 8 table."""
     rows: List[List] = []
     speedups: Dict[str, List[float]] = {c: [] for c in CONFIG_ORDER}
     dynamics: Dict[str, List[float]] = {c: [] for c in CONFIG_ORDER}
     totals: Dict[str, List[float]] = {c: [] for c in CONFIG_ORDER}
-    for name, per_config in results.items():
-        base = per_config["baseline"]
+    for name, payload in zip(names, payloads):
+        sims = payload["sims"]
+        base = sims["baseline"]
+        base_total = base["dynamic_power_w"] + base["leakage_power_w"]
         row: List = [name, PROFILES[name].region]
         for config_name in CONFIG_ORDER:
-            r = per_config[config_name]
-            speedup = r.speedup_over(base)
+            speedup = sims[config_name]["ipc"] / base["ipc"]
             row.append(round(speedup, 3))
             speedups[config_name].append(speedup)
         for config_name in CONFIG_ORDER:
-            r = per_config[config_name]
-            ratio = r.dynamic_power_ratio(base)
+            ratio = sims[config_name]["dynamic_power_w"] / base["dynamic_power_w"]
             row.append(round(ratio, 3))
             dynamics[config_name].append(ratio)
         for config_name in CONFIG_ORDER:
-            r = per_config[config_name]
-            ratio = r.total_power_ratio(base)
+            r = sims[config_name]
+            ratio = (r["dynamic_power_w"] + r["leakage_power_w"]) / base_total
             row.append(round(ratio, 3))
             totals[config_name].append(ratio)
         rows.append(row)
@@ -114,3 +144,17 @@ def run(
         rows=rows,
         extras=extras,
     )
+
+
+def run(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    benchmarks: Optional[Iterable[str]] = None,
+    seed: int = 0,
+    results: Optional[Dict[str, Dict[str, SimulationResult]]] = None,
+) -> ExperimentResult:
+    """Build the Fig. 8 table (pass ``results`` to reuse simulations)."""
+    if results is None:
+        results = run_simulations(trace_length, benchmarks, seed)
+    names = list(results)
+    payloads = [payload_from_sims(results[name]) for name in names]
+    return merge(names, payloads)

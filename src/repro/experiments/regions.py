@@ -6,11 +6,18 @@ aggregates the per-benchmark simulations into one row per region so the
 regional story is directly checkable: region 1 flat everywhere, region 2
 moving only with the register file (C2/C3), regions 3-4 moving with cache
 capacity (C1/C3).
+
+Job decomposition
+-----------------
+This experiment reuses the Fig. 8 per-benchmark jobs (:func:`fig8.compute`)
+verbatim — :func:`merge` only regroups their payloads by region — so the
+parallel runner can deduplicate the simulations with ``fig8``/``variance``
+and serve them from the shared result cache.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.experiments import fig8
 from repro.experiments.common import (
@@ -29,27 +36,18 @@ REGION_LABELS = {
 }
 
 
-def run(
-    trace_length: int = DEFAULT_TRACE_LENGTH,
-    benchmarks: Optional[Iterable[str]] = None,
-    seed: int = 0,
-    results: Optional[Dict[str, Dict[str, SimulationResult]]] = None,
-) -> ExperimentResult:
-    """Aggregate Fig. 8 speedups per region (reuses ``results`` if given)."""
-    if results is None:
-        results = fig8.run_simulations(trace_length, benchmarks, seed)
-
+def merge(names: Sequence[str], payloads: Sequence[Dict[str, Any]]) -> ExperimentResult:
+    """Aggregate Fig. 8 job payloads into one gmean-speedup row per region."""
     by_region: Dict[int, Dict[str, List[float]]] = {}
-    for name, per_config in results.items():
+    for name, payload in zip(names, payloads):
+        sims = payload["sims"]
         region = PROFILES[name].region
-        base = per_config["baseline"]
+        base = sims["baseline"]
         bucket = by_region.setdefault(
             region, {c: [] for c in fig8.CONFIG_ORDER}
         )
         for config_name in fig8.CONFIG_ORDER:
-            bucket[config_name].append(
-                per_config[config_name].speedup_over(base)
-            )
+            bucket[config_name].append(sims[config_name]["ipc"] / base["ipc"])
 
     rows: List[List] = []
     extras: Dict[str, float] = {}
@@ -70,3 +68,17 @@ def run(
         rows=rows,
         extras=extras,
     )
+
+
+def run(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    benchmarks: Optional[Iterable[str]] = None,
+    seed: int = 0,
+    results: Optional[Dict[str, Dict[str, SimulationResult]]] = None,
+) -> ExperimentResult:
+    """Aggregate Fig. 8 speedups per region (reuses ``results`` if given)."""
+    if results is None:
+        results = fig8.run_simulations(trace_length, benchmarks, seed)
+    names = list(results)
+    payloads = [fig8.payload_from_sims(results[name]) for name in names]
+    return merge(names, payloads)

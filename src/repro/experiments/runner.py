@@ -1,14 +1,25 @@
-"""Run every experiment and print the paper-artifact tables."""
+"""Run every experiment and print the paper-artifact tables.
+
+The registry (:data:`EXPERIMENTS`) maps names to experiment modules; both
+:func:`run_experiment` and :func:`run_all` execute through the job
+decomposition in :mod:`repro.experiments.parallel`, so the same entry
+points scale from a serial in-process run (``jobs=1``, the default) to a
+process-pool fan-out with an on-disk result cache and a JSON run manifest.
+
+Determinism guarantees
+----------------------
+For fixed ``(trace_length, benchmarks, seed)`` the results are a pure
+function of the configuration — independent of ``jobs``, of scheduling
+order, and of whether payloads were computed or served from the cache.
+``run_all(..., jobs=4)`` is byte-identical to the serial path.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
-from repro.experiments import (
-    energy, fig3, fig4, fig5, fig6, fig8, regions, scaling, table1, table2,
-    variance,
-)
 from repro.experiments.common import DEFAULT_TRACE_LENGTH, ExperimentResult
+from repro.experiments.parallel import run_battery
 
 #: Experiment registry: the paper's artifacts in paper order, then the
 #: extensions (everything after "fig8" is not a paper figure).
@@ -21,30 +32,58 @@ def run_experiment(
     trace_length: int = DEFAULT_TRACE_LENGTH,
     benchmarks: Optional[Iterable[str]] = None,
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
 ) -> ExperimentResult:
-    """Run one experiment by name."""
-    if name == "table1":
-        return table1.run()
-    if name == "table2":
-        return table2.run()
-    module = {"fig3": fig3, "fig4": fig4, "fig5": fig5, "fig6": fig6,
-              "fig8": fig8, "regions": regions, "scaling": scaling,
-              "energy": energy, "variance": variance}[name]
-    return module.run(trace_length=trace_length, benchmarks=benchmarks, seed=seed)
+    """Run one experiment by name.
+
+    ``jobs`` > 1 fans the experiment's jobs over worker processes;
+    ``cache_dir`` enables the content-keyed result cache.  The result is
+    identical for every ``jobs``/cache combination (see the module
+    docstring's determinism guarantees).
+    """
+    results, _ = run_battery(
+        [name],
+        trace_length=trace_length,
+        benchmarks=benchmarks,
+        seed=seed,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+    )
+    return results[name]
 
 
 def run_all(
     trace_length: int = DEFAULT_TRACE_LENGTH,
     benchmarks: Optional[Iterable[str]] = None,
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    manifest_path: Optional[str] = None,
 ) -> Dict[str, ExperimentResult]:
-    """Run the whole battery; returns results keyed by experiment name."""
-    return {
-        name: run_experiment(
-            name, trace_length=trace_length, benchmarks=benchmarks, seed=seed
-        )
-        for name in EXPERIMENTS
-    }
+    """Run the whole battery; returns results keyed by experiment name.
+
+    Jobs shared between experiments (``fig8``/``regions``/``variance`` all
+    consume the same per-benchmark simulations) are executed once and fanned
+    out.  ``manifest_path`` writes the run's telemetry manifest (per-job
+    wall time, worker id, cache hit/miss, simulator counters) as JSON.
+    Deterministic: results do not depend on ``jobs`` or cache state.
+    """
+    results, telemetry = run_battery(
+        list(EXPERIMENTS),
+        trace_length=trace_length,
+        benchmarks=benchmarks,
+        seed=seed,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+    )
+    if manifest_path is not None:
+        telemetry.write(manifest_path)
+    return results
 
 
 def main(argv: Optional[Iterable[str]] = None) -> None:  # pragma: no cover - CLI
@@ -57,16 +96,29 @@ def main(argv: Optional[Iterable[str]] = None) -> None:  # pragma: no cover - CL
     parser.add_argument("--trace-length", type=int, default=DEFAULT_TRACE_LENGTH)
     parser.add_argument("--benchmarks", nargs="*", default=None)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the job fan-out")
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-keyed result cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore the result cache even if --cache-dir is set")
+    parser.add_argument("--manifest", metavar="FILE", default=None,
+                        help="write the run telemetry manifest to FILE")
     args = parser.parse_args(list(argv) if argv is not None else None)
+    results, telemetry = run_battery(
+        list(args.experiments),
+        trace_length=args.trace_length,
+        benchmarks=args.benchmarks,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
     for name in args.experiments:
-        result = run_experiment(
-            name,
-            trace_length=args.trace_length,
-            benchmarks=args.benchmarks,
-            seed=args.seed,
-        )
-        print(result.render())
+        print(results[name].render())
         print()
+    if args.manifest:
+        telemetry.write(args.manifest)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,12 +7,20 @@ quantifies that motivation inside the model: it re-runs the baseline-vs-C1
 comparison at 45 nm, 40 nm (the paper's node) and 32 nm and reports how the
 total-L2-power advantage of the two-part STT-RAM design grows as SRAM
 leakage worsens.
+
+Job decomposition
+-----------------
+One job per benchmark: :func:`compute` simulates one benchmark at every
+technology node (baseline and C1) and returns the per-node ratios
+(JSON-safe); :func:`merge` takes the geometric means per node in benchmark
+order.  ``run`` is ``merge`` over inline ``compute`` calls, so serial and
+parallel paths share every arithmetic step.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.areapower.technology import TECH_32NM, TECH_40NM, TECH_45NM
 from repro.config import baseline_sram, config_c1
@@ -30,28 +38,35 @@ NODES = (TECH_45NM, TECH_40NM, TECH_32NM)
 DEFAULT_BENCHMARKS = ("bfs", "stencil")
 
 
-def run(
+def compute(
+    benchmark: str,
     trace_length: int = DEFAULT_TRACE_LENGTH,
-    benchmarks: Optional[Iterable[str]] = None,
     seed: int = 0,
-) -> ExperimentResult:
-    """Baseline-vs-C1 total-power ratio across technology nodes."""
-    names = list(benchmarks) if benchmarks is not None else list(DEFAULT_BENCHMARKS)
-    rows: List[List] = []
-    ratios_by_node = {}
+) -> Dict[str, Any]:
+    """One job: baseline-vs-C1 ratios for ``benchmark`` at every node."""
+    workload = build_workload(benchmark, num_accesses=trace_length, seed=seed)
+    nodes: Dict[str, Dict[str, float]] = {}
     for tech in NODES:
         base_cfg = dataclasses.replace(baseline_sram(), tech=tech)
         c1_cfg = dataclasses.replace(config_c1(), tech=tech)
-        total_ratios = []
-        speedups = []
-        leak_ratio = None
-        for name in names:
-            workload = build_workload(name, num_accesses=trace_length, seed=seed)
-            base = simulate(base_cfg, workload)
-            c1 = simulate(c1_cfg, workload)
-            total_ratios.append(c1.total_power_ratio(base))
-            speedups.append(c1.speedup_over(base))
-            leak_ratio = c1.l2_leakage_power_w / base.l2_leakage_power_w
+        base = simulate(base_cfg, workload)
+        c1 = simulate(c1_cfg, workload)
+        nodes[tech.name] = {
+            "total_ratio": c1.total_power_ratio(base),
+            "speedup": c1.speedup_over(base),
+            "leak_ratio": c1.l2_leakage_power_w / base.l2_leakage_power_w,
+        }
+    return {"nodes": nodes}
+
+
+def merge(names: Sequence[str], payloads: Sequence[Dict[str, Any]]) -> ExperimentResult:
+    """Assemble per-benchmark payloads into the per-node scaling table."""
+    rows: List[List] = []
+    ratios_by_node = {}
+    for tech in NODES:
+        total_ratios = [p["nodes"][tech.name]["total_ratio"] for p in payloads]
+        speedups = [p["nodes"][tech.name]["speedup"] for p in payloads]
+        leak_ratio = payloads[-1]["nodes"][tech.name]["leak_ratio"]
         ratio = geomean(total_ratios)
         ratios_by_node[tech.name] = ratio
         rows.append([
@@ -72,3 +87,14 @@ def run(
         rows=rows,
         extras=extras,
     )
+
+
+def run(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    benchmarks: Optional[Iterable[str]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Baseline-vs-C1 total-power ratio across technology nodes."""
+    names = list(benchmarks) if benchmarks is not None else list(DEFAULT_BENCHMARKS)
+    payloads = [compute(name, trace_length=trace_length, seed=seed) for name in names]
+    return merge(names, payloads)

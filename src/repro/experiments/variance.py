@@ -4,15 +4,24 @@ The traces are synthetic, so a fair question is whether the Fig. 8 gmeans
 are artifacts of one random seed.  This experiment re-runs the evaluation
 across several generator seeds and reports, per headline metric, the mean
 and spread — the shape claims should hold for *every* seed.
+
+Job decomposition
+-----------------
+One job per (benchmark, seed) pair, reusing :func:`fig8.compute` verbatim:
+:func:`merge` folds each seed's payloads through :func:`fig8.merge` and
+then takes the cross-seed statistics.  Because the seed-``s`` jobs are the
+same jobs ``fig8`` itself runs, the parallel runner deduplicates them and
+a warm result cache makes the whole study incremental.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.experiments import fig8
 from repro.experiments.common import DEFAULT_TRACE_LENGTH, ExperimentResult
+from repro.workloads.suite import suite_names
 
 #: Headline metrics tracked across seeds.
 METRICS = (
@@ -26,6 +35,11 @@ METRICS = (
 )
 
 
+def default_seeds(seed: int) -> Tuple[int, int, int]:
+    """The swept seed set: three consecutive seeds starting at ``seed``."""
+    return (seed, seed + 1, seed + 2)
+
+
 def _mean_std(values: Sequence[float]) -> tuple:
     mean = sum(values) / len(values)
     if len(values) < 2:
@@ -34,25 +48,20 @@ def _mean_std(values: Sequence[float]) -> tuple:
     return mean, math.sqrt(variance)
 
 
-def run(
-    trace_length: int = DEFAULT_TRACE_LENGTH,
-    benchmarks: Optional[Iterable[str]] = None,
-    seed: int = 0,
-    seeds: Optional[Sequence[int]] = None,
+def merge(
+    names: Sequence[str],
+    payloads_by_seed: Sequence[Tuple[int, Sequence[Dict[str, Any]]]],
 ) -> ExperimentResult:
-    """Fig. 8 headline metrics across generator seeds.
+    """Fold each seed's Fig. 8 payloads into the cross-seed statistics.
 
-    ``seeds`` overrides the swept set; by default three consecutive seeds
-    starting at ``seed`` are used.
+    ``payloads_by_seed`` pairs each swept seed with its per-benchmark
+    payloads (one :func:`fig8.compute` payload per name, in ``names``
+    order).
     """
-    if seeds is None:
-        seeds = (seed, seed + 1, seed + 2)
-    names = list(benchmarks) if benchmarks is not None else None
     per_seed: Dict[str, List[float]] = {metric: [] for metric in METRICS}
-    for seed in seeds:
-        result = fig8.run(
-            trace_length=trace_length, benchmarks=names, seed=seed
-        )
+    seeds = [seed for seed, _ in payloads_by_seed]
+    for _seed, payloads in payloads_by_seed:
+        result = fig8.merge(names, payloads)
         for metric in METRICS:
             per_seed[metric].append(result.extras[metric])
 
@@ -77,3 +86,25 @@ def run(
         rows=rows,
         extras=extras,
     )
+
+
+def run(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    benchmarks: Optional[Iterable[str]] = None,
+    seed: int = 0,
+    seeds: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
+    """Fig. 8 headline metrics across generator seeds.
+
+    ``seeds`` overrides the swept set; by default three consecutive seeds
+    starting at ``seed`` are used.  Deterministic: the result depends only
+    on ``(trace_length, benchmarks, seeds)``.
+    """
+    if seeds is None:
+        seeds = default_seeds(seed)
+    names = list(benchmarks) if benchmarks is not None else suite_names()
+    payloads_by_seed = [
+        (s, [fig8.compute(name, trace_length=trace_length, seed=s) for name in names])
+        for s in seeds
+    ]
+    return merge(names, payloads_by_seed)

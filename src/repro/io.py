@@ -3,13 +3,17 @@
 Downstream pipelines (plotting, regression tracking) want machine-readable
 artifacts next to the printed tables; these helpers provide a stable JSON
 schema for :class:`~repro.gpu.metrics.SimulationResult` and
-:class:`~repro.experiments.common.ExperimentResult`.
+:class:`~repro.experiments.common.ExperimentResult`, plus the low-level
+JSON primitives (:func:`canonical_json`, :func:`write_json_atomic`,
+:func:`load_json`) the telemetry layer builds its run manifests and
+content-keyed result cache on.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, Iterable, Mapping, Union
 
@@ -21,6 +25,37 @@ PathLike = Union[str, Path]
 
 #: Schema version stamped into every file this module writes.
 SCHEMA_VERSION = 1
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON rendering (sorted keys, no whitespace).
+
+    Two structurally-equal payloads always produce the same string, which
+    makes the output suitable for content hashing (cache keys, config
+    fingerprints).
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def write_json_atomic(payload: Any, path: PathLike, indent: int = 2) -> None:
+    """Write JSON via a same-directory temp file + atomic rename.
+
+    Concurrent readers (another runner sharing the result cache) never see
+    a half-written file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload, indent=indent, sort_keys=True))
+    os.replace(tmp, path)
+
+
+def load_json(path: PathLike) -> Any:
+    """Read one JSON document, wrapping failures in :class:`ReproError`."""
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ReproError(f"cannot load JSON from {path}: {error}") from error
 
 
 def simulation_result_to_dict(result: SimulationResult) -> Dict[str, Any]:

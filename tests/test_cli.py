@@ -1,0 +1,75 @@
+"""Tests for the ``repro-sttgpu`` command-line interface."""
+
+import json
+
+from repro.cli import main
+from repro.experiments.runner import EXPERIMENTS
+
+
+class TestUnknownExperiment:
+    def test_exit_code_2(self, capsys):
+        assert main(["experiments", "nope"]) == 2
+
+    def test_sorted_names_and_usage_hint(self, capsys):
+        main(["experiments", "zzz", "aaa"])
+        err = capsys.readouterr().err
+        # unknown names reported sorted
+        assert err.index("'aaa'") < err.index("'zzz'")
+        # the full registry, sorted, plus a usage hint
+        assert ", ".join(sorted(EXPERIMENTS)) in err
+        assert "usage: repro-sttgpu experiments" in err
+
+    def test_valid_names_not_rerun_before_failing(self, capsys):
+        """Validation happens up front: nothing is printed to stdout."""
+        main(["experiments", "fig3", "nope"])
+        assert capsys.readouterr().out == ""
+
+
+class TestExperimentsCommand:
+    def test_runs_subset_and_prints_tables(self, capsys):
+        assert main(["experiments", "table1", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+
+    def test_jobs_and_manifest(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        code = main([
+            "experiments", "fig3",
+            "--trace-length", "800", "--benchmarks", "nn",
+            "--jobs", "2", "--manifest", str(manifest),
+        ])
+        assert code == 0
+        document = json.loads(manifest.read_text())
+        assert document["run"]["jobs"] == 2
+        assert document["totals"]["jobs"] == 1
+        assert "wrote manifest" in capsys.readouterr().out
+
+    def test_cache_dir_round_trip(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["experiments", "fig3", "--trace-length", "800",
+                "--benchmarks", "nn", "--cache-dir", cache,
+                "--manifest", str(tmp_path / "m.json")]
+        assert main(args) == 0
+        assert main(args) == 0
+        document = json.loads((tmp_path / "m.json").read_text())
+        assert document["totals"]["cache_hits"] == 1
+        assert document["totals"]["cache_misses"] == 0
+
+    def test_json_output(self, tmp_path, capsys):
+        out_file = tmp_path / "results.json"
+        main(["experiments", "table1", "--json", str(out_file)])
+        document = json.loads(out_file.read_text())
+        assert "table1" in document["experiments"]
+
+
+class TestOtherCommands:
+    def test_configs(self, capsys):
+        assert main(["configs"]) == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_suite(self, capsys):
+        assert main(["suite"]) == 0
+        assert "bfs" in capsys.readouterr().out
+
+    def test_simulate_unknown_config(self, capsys):
+        assert main(["simulate", "bfs", "nope"]) == 2

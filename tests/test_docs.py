@@ -1,0 +1,50 @@
+"""Docs invariants: link integrity and experiment-registry coverage."""
+
+import sys
+from pathlib import Path
+
+from repro.experiments.runner import EXPERIMENTS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+import check_docs_links  # noqa: E402  (scripts/ is not a package)
+
+
+class TestLinks:
+    def test_all_relative_links_resolve(self):
+        failures = check_docs_links.check(
+            check_docs_links.default_files(REPO_ROOT)
+        )
+        assert not failures, "\n".join(failures)
+
+    def test_default_scan_covers_readme_and_docs(self):
+        files = {p.name for p in check_docs_links.default_files(REPO_ROOT)}
+        assert "README.md" in files
+        assert "experiments.md" in files
+        assert "architecture.md" in files
+
+    def test_broken_link_is_detected(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [missing](does-not-exist.md)")
+        assert check_docs_links.check([doc])
+
+
+class TestExperimentDocs:
+    def test_every_registry_entry_has_a_section(self):
+        text = (REPO_ROOT / "docs" / "experiments.md").read_text()
+        for name in EXPERIMENTS:
+            assert f"## `{name}`" in text, (
+                f"docs/experiments.md is missing a section for {name!r}"
+            )
+
+    def test_cross_linked_from_architecture_and_readme(self):
+        architecture = (REPO_ROOT / "docs" / "architecture.md").read_text()
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert "experiments.md" in architecture
+        assert "docs/experiments.md" in readme
+
+    def test_experiments_md_documents_runner_formats(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        assert "manifest" in text.lower()
+        assert "cache" in text.lower()
