@@ -39,8 +39,12 @@ def broken_links(path: Path) -> List[Tuple[str, str]]:
 
 
 def default_files(root: Path) -> List[Path]:
-    """The default scan set: README.md plus every markdown file in docs/."""
-    files = [root / "README.md"]
+    """The default scan set: top-level guides plus everything in docs/."""
+    files = [
+        root / "README.md",
+        root / "EXPERIMENTS.md",
+        root / "DESIGN.md",
+    ]
     files.extend(sorted((root / "docs").glob("**/*.md")))
     return [f for f in files if f.exists()]
 

@@ -17,6 +17,7 @@ from repro.cache.block import CacheBlock
 from repro.cache.cacheset import CacheSet
 from repro.cache.stats import CacheStats
 from repro.errors import GeometryError
+from repro.tracing import NULL_TRACER, TraceCollector
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,7 @@ class SetAssociativeCache:
         write_allocate: bool = True,
         write_counter_saturation: int = 0,
         seed: int = 0,
+        tracer: Optional[TraceCollector] = None,
     ) -> None:
         if capacity_bytes <= 0 or associativity <= 0 or line_size <= 0:
             raise GeometryError("capacity, associativity and line size must be positive")
@@ -79,6 +81,10 @@ class SetAssociativeCache:
             for i in range(num_sets)
         ]
         self.stats = CacheStats()
+        #: optional trace collector (``cache.<name>.*`` counters)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: replacement-victim count per set (eviction-pressure profile)
+        self.set_evictions: List[int] = [0] * num_sets
 
     # --- geometry ---------------------------------------------------------
 
@@ -164,10 +170,16 @@ class SetAssociativeCache:
         if victim.valid:
             evicted_address = self.mapper.rebuild(victim.tag, index)
             evicted_dirty = victim.dirty
+            self.set_evictions[index] += 1
             if evicted_dirty:
                 self.stats.evictions_dirty += 1
             else:
                 self.stats.evictions_clean += 1
+            if self.tracer.enabled:
+                self.tracer.count(
+                    f"cache.{self.name}.evictions_dirty" if evicted_dirty
+                    else f"cache.{self.name}.evictions_clean"
+                )
         cache_set.install(way, tag, now, dirty=dirty)
         self.stats.fills += 1
         return AccessOutcome(
@@ -251,6 +263,15 @@ class SetAssociativeCache:
         for index, cache_set in enumerate(self.sets):
             for way, block in enumerate(cache_set.blocks):
                 yield index, way, block
+
+    def per_set_eviction_counts(self) -> List[int]:
+        """Cumulative replacement victims per set (eviction-pressure map).
+
+        Unlike the aggregate ``stats.evictions_*`` counters this resolves
+        *where* replacement pressure lands, which is what the tracing layer
+        reports for conflict-hot-set diagnosis (see ``docs/metrics.md``).
+        """
+        return list(self.set_evictions)
 
     def per_set_write_counts(self) -> List[int]:
         """Cumulative writes per set (inter-set variation input)."""

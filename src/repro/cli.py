@@ -90,10 +90,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"unknown config {args.config!r}; choose from {sorted(configs)}",
               file=sys.stderr)
         return 2
+    if args.trace_sample < 1:
+        print(
+            f"repro-sttgpu simulate: --trace-sample must be >= 1, "
+            f"got {args.trace_sample}",
+            file=sys.stderr,
+        )
+        return 2
     workload = build_workload(
         args.benchmark, num_accesses=args.trace_length, seed=args.seed
     )
-    result = simulate(configs[args.config], workload)
+    if args.trace:
+        from repro.gpu.simulator import GPUSimulator
+        from repro.tracing import TraceCollector
+
+        tracer = TraceCollector(sample_every=args.trace_sample)
+        result = GPUSimulator(
+            configs[args.config], workload, tracer=tracer
+        ).run()
+    else:
+        tracer = None
+        result = simulate(configs[args.config], workload)
     print(f"benchmark      : {result.workload}")
     print(f"config         : {result.config}")
     print(f"IPC            : {result.ipc:.2f} (bound by {result.bound_by})")
@@ -107,6 +124,39 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if result.lr_write_share is not None:
         print(f"LR write share : {result.lr_write_share:.3f}")
         print(f"migrations->LR : {result.migrations_to_lr}")
+    if tracer is not None:
+        tracer.write(args.trace_out)
+        summary = tracer.summary()
+        print(
+            f"trace          : {args.trace_out} "
+            f"({summary['events']} events, {summary['dropped_events']} dropped, "
+            f"{len(summary['counters'])} counters)"
+        )
+        if args.manifest:
+            from repro.telemetry import JobRecord, RunTelemetry
+
+            telemetry = RunTelemetry(
+                jobs=1,
+                trace_length=args.trace_length,
+                seed=args.seed,
+                benchmarks=[args.benchmark],
+                experiments=["simulate"],
+            )
+            telemetry.record(JobRecord(
+                key=f"simulate:{args.benchmark}:{args.config}",
+                kind="simulate",
+                benchmark=args.benchmark,
+                trace_length=args.trace_length,
+                seed=args.seed,
+                experiments=["simulate"],
+                worker=0,
+                wall_time_s=0.0,
+                cache_hit=False,
+                counters={"l2_requests": result.l2_requests},
+            ))
+            telemetry.attach_trace(summary)
+            telemetry.write(args.manifest)
+            print(f"manifest       : {args.manifest}")
     return 0
 
 
@@ -161,6 +211,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("config", help="baseline | stt-baseline | C1 | C2 | C3")
     p_sim.add_argument("--trace-length", type=int, default=DEFAULT_TRACE_LENGTH)
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--trace", action="store_true",
+                       help="collect an execution trace (Chrome/Perfetto JSON)")
+    p_sim.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                       help="record every Nth timeline event per event name "
+                            "(counters stay exact; default 1)")
+    p_sim.add_argument("--trace-out", metavar="FILE", default="trace.json",
+                       help="trace output path (default trace.json)")
+    p_sim.add_argument("--manifest", metavar="FILE", default=None,
+                       help="with --trace: also write a telemetry manifest "
+                            "embedding the trace summary")
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_cfg = sub.add_parser("configs", help="print Table 2")

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.tracing import NULL_TRACER, TraceCollector
 
 
 @dataclass
@@ -49,11 +50,20 @@ class MigrationBuffer:
         Seconds one destination write occupies the drain port (the
         destination array's write latency).
     name:
-        For diagnostics.
+        For diagnostics (also names the trace counters / Perfetto track).
+    tracer:
+        Optional :class:`~repro.tracing.TraceCollector`; records the
+        occupancy time series (``l2.buffer.<name>.occupancy``) and the
+        overflow counters backing the paper's ~1% worst-case
+        buffer-overflow write-back claim.
     """
 
     def __init__(
-        self, capacity_lines: int, drain_service_time: float, name: str = "buffer"
+        self,
+        capacity_lines: int,
+        drain_service_time: float,
+        name: str = "buffer",
+        tracer: Optional[TraceCollector] = None,
     ) -> None:
         if capacity_lines < 1:
             raise ConfigurationError("buffer capacity must be at least one line")
@@ -62,6 +72,7 @@ class MigrationBuffer:
         self.capacity_lines = capacity_lines
         self.drain_service_time = drain_service_time
         self.name = name
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._entries: Deque[Tuple[int, bool, float]] = deque()
         self._port_free_at = 0.0
         self.stats = BufferStats()
@@ -78,6 +89,8 @@ class MigrationBuffer:
         """Enqueue a line; returns False on overflow (caller writes to DRAM)."""
         if self.full:
             self.stats.overflows += 1
+            if self.tracer.enabled:
+                self.tracer.count(f"l2.buffer.{self.name}.overflows")
             return False
         start = max(now, self._port_free_at)
         ready = start + self.drain_service_time
@@ -85,6 +98,12 @@ class MigrationBuffer:
         self._entries.append((line_address, dirty, ready))
         self.stats.pushes += 1
         self.stats.peak_occupancy = max(self.stats.peak_occupancy, len(self._entries))
+        if self.tracer.enabled:
+            self.tracer.count(f"l2.buffer.{self.name}.pushes")
+            self.tracer.sample(
+                f"l2.buffer.{self.name}.occupancy", now, len(self._entries),
+                component=f"l2.buffer.{self.name}",
+            )
         return True
 
     def force_pop(self) -> Tuple[int, bool]:
@@ -97,6 +116,8 @@ class MigrationBuffer:
             raise ConfigurationError(f"{self.name}: force_pop on empty buffer")
         address, dirty, _ = self._entries.popleft()
         self.stats.overflows += 1
+        if self.tracer.enabled:
+            self.tracer.count(f"l2.buffer.{self.name}.overflows")
         return address, dirty
 
     def drain_ready(self, now: float) -> List[Tuple[int, bool]]:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.areapower.technology import TECH_40NM, TechnologyNode
 from repro.config import L2Config
 from repro.core.interface import L2Interface
@@ -9,17 +11,23 @@ from repro.core.relaxed import RelaxedUniformL2
 from repro.core.twopart import TwoPartSTTL2
 from repro.core.uniform import UniformL2
 from repro.errors import ConfigurationError
+from repro.tracing import TraceCollector
 
 
 def build_l2(
     config: L2Config,
     track_intervals: bool = False,
     tech: TechnologyNode = TECH_40NM,
+    tracer: Optional[TraceCollector] = None,
 ) -> L2Interface:
     """Instantiate the L2 described by ``config`` at technology ``tech``.
 
     ``track_intervals`` enables LR rewrite-interval recording (Fig. 6); it
     costs memory proportional to the write count, so it is off by default.
+    ``tracer`` (a :class:`~repro.tracing.TraceCollector`) threads the
+    observability layer through the built cache and its subcomponents;
+    ``None`` keeps every instrumentation site on the shared no-op
+    collector.
     """
     if config.kind == "sram":
         return UniformL2(
@@ -28,6 +36,7 @@ def build_l2(
             config.main.line_size,
             technology="sram",
             tech=tech,
+            tracer=tracer,
         )
     if config.kind == "stt":
         return UniformL2(
@@ -37,6 +46,7 @@ def build_l2(
             technology="stt",
             tech=tech,
             early_write_termination=config.early_write_termination,
+            tracer=tracer,
         )
     if config.kind == "stt-relaxed":
         return RelaxedUniformL2(
@@ -46,6 +56,7 @@ def build_l2(
             retention_s=config.hr_retention_s,
             tech=tech,
             early_write_termination=config.early_write_termination,
+            tracer=tracer,
         )
     if config.kind == "twopart":
         assert config.lr is not None  # validated by L2Config
@@ -64,5 +75,6 @@ def build_l2(
             track_intervals=track_intervals,
             early_write_termination=config.early_write_termination,
             lr_technology=config.lr_technology,
+            tracer=tracer,
         )
     raise ConfigurationError(f"unknown L2 kind {config.kind!r}")

@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 from repro.cache.array import SetAssociativeCache
 from repro.cache.block import CacheBlock
 from repro.core.retention_counter import RetentionCounterSpec
+from repro.tracing import NULL_TRACER, TraceCollector
 
 
 def cell_age(block: CacheBlock, now: float) -> float:
@@ -68,13 +69,20 @@ class RefreshEngine:
         hr_array: SetAssociativeCache,
         lr_spec: Optional[RetentionCounterSpec],
         hr_spec: RetentionCounterSpec,
+        tracer: Optional[TraceCollector] = None,
     ) -> None:
         """``lr_spec=None`` disables LR sweeps (an SRAM LR part never
-        expires — the hybrid organization of the paper's ref [16])."""
+        expires — the hybrid organization of the paper's ref [16]).
+
+        ``tracer`` (optional :class:`~repro.tracing.TraceCollector`)
+        records one sampled ``l2.refresh.sweep`` event per non-trivial
+        sweep plus the ``l2.refresh.*`` decision counters.
+        """
         self.lr_array = lr_array
         self.hr_array = hr_array
         self.lr_spec = lr_spec
         self.hr_spec = hr_spec
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._next_lr_scan = lr_spec.tick_s if lr_spec is not None else float("inf")
         self._next_hr_scan = hr_spec.tick_s
         self.stats = RefreshStats()
@@ -92,6 +100,26 @@ class RefreshEngine:
         if now >= self._next_hr_scan:
             self._sweep_hr(now, actions)
             self._next_hr_scan = now + self.hr_spec.tick_s
+        if self.tracer.enabled:
+            self.tracer.count("l2.refresh.lr_refreshes", len(actions.lr_refresh))
+            self.tracer.count("l2.refresh.lr_expiries", len(actions.lr_lost))
+            self.tracer.count(
+                "l2.refresh.hr_expirations_clean", len(actions.hr_drop_clean)
+            )
+            self.tracer.count(
+                "l2.refresh.hr_expirations_dirty", len(actions.hr_drop_dirty)
+            )
+            if (
+                actions.lr_refresh or actions.lr_lost
+                or actions.hr_drop_clean or actions.hr_drop_dirty
+            ):
+                self.tracer.event(
+                    "l2.refresh.sweep", now, component="l2.refresh",
+                    lr_refresh=len(actions.lr_refresh),
+                    lr_lost=len(actions.lr_lost),
+                    hr_drop_clean=len(actions.hr_drop_clean),
+                    hr_drop_dirty=len(actions.hr_drop_dirty),
+                )
         return actions
 
     def _sweep_lr(self, now: float, actions: RefreshActions) -> None:

@@ -32,6 +32,7 @@ from repro.core.retention_counter import RetentionCounterSpec
 from repro.errors import ConfigurationError
 from repro.sttram.ewt import EWTModel
 from repro.sttram.retention import RetentionLevel
+from repro.tracing import TraceCollector
 
 #: Counter width for the uniform design (matches the paper's HR part).
 RELAXED_COUNTER_BITS = 2
@@ -49,6 +50,7 @@ class RelaxedUniformL2(L2Interface):
         tech: TechnologyNode = TECH_40NM,
         early_write_termination: bool = False,
         name: str = "relaxed-stt",
+        tracer: Optional["TraceCollector"] = None,
     ) -> None:
         if retention_s <= 0:
             raise ConfigurationError("retention must be positive")
@@ -65,7 +67,8 @@ class RelaxedUniformL2(L2Interface):
             ewt=EWTModel() if early_write_termination else None,
         )
         self.array = SetAssociativeCache(
-            capacity_bytes, associativity, line_size, name=name
+            capacity_bytes, associativity, line_size, name=name,
+            tracer=tracer,
         )
         self.spec = RetentionCounterSpec(RELAXED_COUNTER_BITS, retention_s)
         self._next_sweep = self.spec.tick_s

@@ -83,6 +83,22 @@ class RetentionCounterSpec:
             return self.retention_s / 2
         return window_start
 
+    def as_dict(self) -> dict:
+        """JSON-safe description (embedded in trace metadata).
+
+        The tracing layer stamps each retention-counter spec into the
+        emitted trace's ``otherData.metadata`` so a trace is
+        self-describing: refresh/expiry event cadence can be interpreted
+        without consulting the configuration that produced the run.
+        """
+        return {
+            "bits": self.bits,
+            "retention_s": self.retention_s,
+            "tick_s": self.tick_s,
+            "states": self.states,
+            "refresh_age_s": self.refresh_age_s,
+        }
+
     def needs_refresh(self, age_s: float) -> bool:
         """Is this line inside its final retention tick?"""
         return self.refresh_age_s <= age_s < self.retention_s

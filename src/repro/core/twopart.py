@@ -38,6 +38,7 @@ from repro.core.search import SearchSelector
 from repro.errors import ConfigurationError
 from repro.sttram.ewt import EWTModel
 from repro.sttram.retention import retention_catalogue
+from repro.tracing import NULL_TRACER, TraceCollector
 
 #: Retention-counter widths from the paper: 4-bit LR, 2-bit HR.
 LR_COUNTER_BITS = 4
@@ -64,6 +65,7 @@ class TwoPartSTTL2(L2Interface):
         early_write_termination: bool = False,
         lr_technology: str = "stt",
         name: str = "twopart",
+        tracer: Optional[TraceCollector] = None,
     ) -> None:
         if not 0 < lr_retention_s < hr_retention_s:
             raise ConfigurationError("need 0 < LR retention < HR retention")
@@ -80,16 +82,22 @@ class TwoPartSTTL2(L2Interface):
             hr_retention_s=hr_retention_s, lr_retention_s=lr_retention_s
         )
         ewt = EWTModel() if early_write_termination else None
+        #: trace collector every subcomponent reports into (no-op when off)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.monitor = WWSMonitor(threshold=write_threshold)
-        self.selector = SearchSelector(sequential=sequential_search)
+        self.selector = SearchSelector(
+            sequential=sequential_search, tracer=self.tracer
+        )
 
         self.hr_array = SetAssociativeCache(
             hr_capacity_bytes, hr_associativity, line_size,
             name=f"{name}-hr",
             write_counter_saturation=self.monitor.saturation,
+            tracer=self.tracer,
         )
         self.lr_array = SetAssociativeCache(
-            lr_capacity_bytes, lr_associativity, line_size, name=f"{name}-lr"
+            lr_capacity_bytes, lr_associativity, line_size, name=f"{name}-lr",
+            tracer=self.tracer,
         )
         self.hr_model = CacheEnergyModel(
             hr_capacity_bytes, hr_associativity, line_size,
@@ -114,14 +122,30 @@ class TwoPartSTTL2(L2Interface):
         )
         self.hr_spec = RetentionCounterSpec(HR_COUNTER_BITS, hr_retention_s)
         self.refresh_engine = RefreshEngine(
-            self.lr_array, self.hr_array, self.lr_spec, self.hr_spec
+            self.lr_array, self.hr_array, self.lr_spec, self.hr_spec,
+            tracer=self.tracer,
         )
         self.hr_to_lr = MigrationBuffer(
-            buffer_lines, self.lr_model.data_array.write_latency, name="hr->lr"
+            buffer_lines, self.lr_model.data_array.write_latency, name="hr->lr",
+            tracer=self.tracer,
         )
         self.lr_to_hr = MigrationBuffer(
-            buffer_lines, self.hr_model.data_array.write_latency, name="lr->hr"
+            buffer_lines, self.hr_model.data_array.write_latency, name="lr->hr",
+            tracer=self.tracer,
         )
+        if self.tracer.enabled:
+            # make the emitted trace self-describing (docs/metrics.md)
+            self.tracer.metadata["l2"] = {
+                "name": name,
+                "lr_technology": lr_technology,
+                "write_threshold": write_threshold,
+                "buffer_lines": buffer_lines,
+                "sequential_search": sequential_search,
+                "hr_spec": self.hr_spec.as_dict(),
+                "lr_spec": (
+                    self.lr_spec.as_dict() if self.lr_spec is not None else None
+                ),
+            }
 
         self._energy = EnergyLedger()
         #: data-array write operations per part (Fig. 4 inputs)
@@ -150,7 +174,9 @@ class TwoPartSTTL2(L2Interface):
             ):
                 if block.dirty:
                     self.data_losses += 1
+                    self.tracer.count("l2.data_losses")
                 self.lr_array.invalidate(line)
+                self.tracer.count("l2.expiry.access_path_invalidations")
             else:
                 return "lr"
         block = self.hr_array.block_at(line)
@@ -158,7 +184,9 @@ class TwoPartSTTL2(L2Interface):
             if cell_age(block, now) >= self.hr_spec.retention_s:
                 if block.dirty:
                     self.data_losses += 1
+                    self.tracer.count("l2.data_losses")
                 self.hr_array.invalidate(line)
+                self.tracer.count("l2.expiry.access_path_invalidations")
             else:
                 return "hr"
         return None
@@ -185,10 +213,12 @@ class TwoPartSTTL2(L2Interface):
                 self.lr_model.data_read_energy + self.lr_model.data_write_energy
             )
             self.refresh_writes += 1
+            self.tracer.count("l2.refresh_writes")
         for address in actions.lr_lost:
             block = self.lr_array.block_at(address)
             if block is not None and block.dirty:
                 self.data_losses += 1
+                self.tracer.count("l2.data_losses")
             self.lr_array.invalidate(address)
         for address in actions.hr_drop_clean:
             self.hr_array.invalidate(address)
@@ -198,6 +228,8 @@ class TwoPartSTTL2(L2Interface):
             self.hr_array.invalidate(address)
             writebacks += 1
         self.dram_writebacks_total += writebacks
+        if writebacks and self.tracer.enabled:
+            self.tracer.count("l2.expiry.hr_writebacks", writebacks)
         return writebacks
 
     # ------------------------------------------------------------------
@@ -222,6 +254,8 @@ class TwoPartSTTL2(L2Interface):
             result = self._serve_miss(line, is_write, now, energy, tag_latency)
         result.dram_writebacks += writebacks
         result.probes = probes
+        if self.tracer.enabled:
+            self.tracer.count(f"l2.serve.{part or 'miss'}")
         return result
 
     def _probe_energy(self, is_write: bool, probes: int) -> float:
@@ -291,6 +325,12 @@ class TwoPartSTTL2(L2Interface):
         self.hr_array.extract(line)
         writebacks += self._buffer_push(self.hr_to_lr, line, True, now)
         self.migrations_to_lr += 1
+        if self.tracer.enabled:
+            self.tracer.count("l2.migrations_to_lr")
+            self.tracer.event(
+                "l2.migrate", now, component="l2",
+                line=line, hr_to_lr_occupancy=len(self.hr_to_lr),
+            )
 
         fill = self.lr_array.fill(line, now, dirty=True)
         migration_energy += self.lr_model.data_write_energy
@@ -315,6 +355,7 @@ class TwoPartSTTL2(L2Interface):
         self._energy.migration_j += self.lr_model.data_read_energy
         writebacks += self._buffer_push(self.lr_to_hr, victim_line, victim_dirty, now)
         self.returns_to_hr += 1
+        self.tracer.count("l2.returns_to_hr")
         outcome = self.hr_array.fill(victim_line, now, dirty=victim_dirty)
         self._energy.migration_j += self.hr_model.data_write_energy
         self.hr_data_writes += 1
@@ -333,6 +374,14 @@ class TwoPartSTTL2(L2Interface):
             if popped_dirty:
                 writebacks += 1
                 self.dram_writebacks_total += 1
+            if self.tracer.enabled:
+                if popped_dirty:
+                    self.tracer.count("l2.buffer_overflow_writebacks")
+                self.tracer.event(
+                    "l2.buffer_overflow", now,
+                    component=f"l2.buffer.{buffer.name}",
+                    buffer=buffer.name, dirty=popped_dirty,
+                )
         buffer.push(line, dirty, now)
         return writebacks
 

@@ -17,6 +17,7 @@ from repro.core.interface import EnergyLedger, L2AccessResult, L2Interface
 from repro.errors import ConfigurationError
 from repro.sttram.ewt import EWTModel
 from repro.sttram.retention import RetentionLevel, retention_catalogue
+from repro.tracing import TraceCollector
 
 
 class UniformL2(L2Interface):
@@ -39,6 +40,7 @@ class UniformL2(L2Interface):
         tech: TechnologyNode = TECH_40NM,
         name: Optional[str] = None,
         early_write_termination: bool = False,
+        tracer: Optional[TraceCollector] = None,
     ) -> None:
         if technology not in ("sram", "stt"):
             raise ConfigurationError(f"unknown uniform L2 technology {technology!r}")
@@ -60,7 +62,8 @@ class UniformL2(L2Interface):
             ewt=ewt,
         )
         self.array = SetAssociativeCache(
-            capacity_bytes, associativity, line_size, name=self.name
+            capacity_bytes, associativity, line_size, name=self.name,
+            tracer=tracer,
         )
         self._energy = EnergyLedger()
         #: data-array write operations (demand + fills), for Fig. 4-style stats

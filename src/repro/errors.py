@@ -34,3 +34,7 @@ class TraceError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis was asked of data that cannot support it."""
+
+
+class TracingError(ReproError):
+    """The tracing layer was misused or a trace document is malformed."""

@@ -17,9 +17,10 @@ controller").  We model:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.errors import ConfigurationError
+from repro.tracing import NULL_TRACER, TraceCollector
 from repro.units import GB, NS
 
 
@@ -55,6 +56,7 @@ class DRAMModel:
         bandwidth_bytes_per_s: float = 177 * GB,
         row_size: int = 2048,
         max_queue_wait_factor: float = 8.0,
+        tracer: Optional[TraceCollector] = None,
     ) -> None:
         if num_channels <= 0:
             raise ConfigurationError("need at least one channel")
@@ -77,6 +79,8 @@ class DRAMModel:
         self._busy_until: List[float] = [0.0] * num_channels
         self._open_row: List[int] = [-1] * num_channels
         self.stats = DRAMStats()
+        #: optional trace collector (``dram.*`` counters + latency histogram)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def _channel(self, address: int) -> int:
         return (address // self.line_size) % self.num_channels
@@ -93,9 +97,11 @@ class DRAMModel:
         row = address // self.row_size
         if is_write:
             self.stats.writes += 1
+            self.tracer.count("dram.writes")
             return self.service_time_s
         self.stats.reads += 1
-        if self._open_row[channel] == row:
+        row_hit = self._open_row[channel] == row
+        if row_hit:
             self.stats.row_hits += 1
             latency = self.row_hit_latency_s
         else:
@@ -105,6 +111,12 @@ class DRAMModel:
         wait = min(start - now, self.max_wait_s)
         self._busy_until[channel] = max(now, self._busy_until[channel]) + self.service_time_s
         self.stats.total_wait_s += wait
+        if self.tracer.enabled:
+            self.tracer.count("dram.reads")
+            if row_hit:
+                self.tracer.count("dram.row_hits")
+            self.tracer.observe("dram.read_latency_s", wait + latency)
+            self.tracer.observe("dram.queue_wait_s", wait)
         return wait + latency
 
     def utilization(self, elapsed_s: float) -> float:

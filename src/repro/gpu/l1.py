@@ -27,12 +27,13 @@ simulator enables deferral.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.cache.array import SetAssociativeCache
 from repro.cache.mshr import MSHRFile
 from repro.config import L1Config
 from repro.errors import SimulationError
+from repro.tracing import NULL_TRACER, TraceCollector
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,10 @@ class GPUL1Cache:
         calls :meth:`complete_fetch`, secondary misses coalesce.
     mshr_entries:
         MSHR file depth (GPU L1s typically hold 32-64 outstanding lines).
+    tracer:
+        Optional :class:`~repro.tracing.TraceCollector`; mirrors the
+        GPU-specific policy events (write-evictions, local write-backs,
+        coalesced misses, MSHR stalls) into aggregate ``l1.*`` counters.
     """
 
     def __init__(
@@ -86,6 +91,7 @@ class GPUL1Cache:
         name: str = "l1",
         deferred_fills: bool = False,
         mshr_entries: int = 32,
+        tracer: Optional[TraceCollector] = None,
     ) -> None:
         self.config = config
         self.array = SetAssociativeCache(
@@ -95,6 +101,7 @@ class GPUL1Cache:
             name=name,
         )
         self.gpu_stats = L1Stats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.deferred_fills = deferred_fills
         self.mshr = MSHRFile(mshr_entries)
         #: line -> (ready_time, fill_dirty) for in-flight fetches
@@ -138,6 +145,7 @@ class GPUL1Cache:
                 assert outcome.evicted_address is not None
                 requests.append(L2Request("writeback", outcome.evicted_address))
                 self.gpu_stats.local_writebacks += 1
+                self.tracer.count("l1.local_writebacks")
         return requests
 
     def _register_fetch(self, line: int, dirty: bool) -> List[L2Request]:
@@ -148,11 +156,13 @@ class GPUL1Cache:
             self.mshr.register_miss(line)
             self._pending[line][1] = self._pending[line][1] or dirty
             self.gpu_stats.coalesced_misses += 1
+            self.tracer.count("l1.coalesced_misses")
             return []
         status = self.mshr.register_miss(line)
         if status == "stall":
             # MSHRs full: issue an uncached (non-allocating) fetch
             self.gpu_stats.mshr_stalls += 1
+            self.tracer.count("l1.mshr_stalls")
             return [L2Request("fetch", line)]
         self._pending[line] = [None, dirty]
         return [L2Request("fetch", line)]
@@ -183,6 +193,7 @@ class GPUL1Cache:
                 self.array.stats.write_hits += 1
                 self.array.invalidate(address)
                 self.gpu_stats.write_evictions += 1
+                self.tracer.count("l1.write_evictions")
             elif line in self._pending:
                 # the store supersedes an in-flight fetch: cancel the fill
                 # so a stale copy never lands over the written-through data
@@ -201,6 +212,7 @@ class GPUL1Cache:
             assert outcome.evicted_address is not None
             requests.append(L2Request("writeback", outcome.evicted_address))
             self.gpu_stats.local_writebacks += 1
+            self.tracer.count("l1.local_writebacks")
         if not outcome.hit:
             requests.append(L2Request("fetch", line))
         return requests
@@ -224,6 +236,7 @@ class GPUL1Cache:
             assert outcome.evicted_address is not None
             requests.append(L2Request("writeback", outcome.evicted_address))
             self.gpu_stats.local_writebacks += 1
+            self.tracer.count("l1.local_writebacks")
         if not outcome.hit:
             # write misses allocate (write-back policy for local data), but
             # the line must still be fetched before it is partially written

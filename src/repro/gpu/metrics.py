@@ -1,9 +1,18 @@
-"""Simulation result records."""
+"""Simulation result records.
+
+The comparison helpers (:meth:`SimulationResult.speedup_over` and friends)
+raise :class:`~repro.errors.AnalysisError` — never a bare
+``ZeroDivisionError`` — when the baseline quantity is zero or negative, and
+the message names both runs (workload/config) so a failed batch analysis
+points at the run that produced the degenerate baseline.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, Optional
+
+from repro.errors import AnalysisError
 
 
 @dataclass(frozen=True)
@@ -52,20 +61,43 @@ class SimulationResult:
         """Dynamic + leakage power of the L2 (W)."""
         return self.l2_dynamic_power_w + self.l2_leakage_power_w
 
+    def _baseline_quantity(
+        self, baseline: "SimulationResult", value: float, what: str
+    ) -> float:
+        if value <= 0:
+            raise AnalysisError(
+                f"cannot normalize {self.workload}/{self.config} against "
+                f"{baseline.workload}/{baseline.config}: baseline {what} "
+                f"is {value!r} (must be positive)"
+            )
+        return value
+
     def speedup_over(self, baseline: "SimulationResult") -> float:
-        """IPC ratio vs a baseline run of the same workload."""
-        if baseline.ipc <= 0:
-            raise ZeroDivisionError("baseline IPC is zero")
-        return self.ipc / baseline.ipc
+        """IPC ratio vs a baseline run of the same workload.
+
+        Raises :class:`~repro.errors.AnalysisError` if the baseline IPC is
+        not positive (e.g. an empty or degenerate run).
+        """
+        return self.ipc / self._baseline_quantity(
+            baseline, baseline.ipc, "IPC"
+        )
 
     def dynamic_power_ratio(self, baseline: "SimulationResult") -> float:
-        """L2 dynamic power normalized to a baseline run."""
-        if baseline.l2_dynamic_power_w <= 0:
-            raise ZeroDivisionError("baseline dynamic power is zero")
-        return self.l2_dynamic_power_w / baseline.l2_dynamic_power_w
+        """L2 dynamic power normalized to a baseline run.
+
+        Raises :class:`~repro.errors.AnalysisError` if the baseline dynamic
+        power is not positive.
+        """
+        return self.l2_dynamic_power_w / self._baseline_quantity(
+            baseline, baseline.l2_dynamic_power_w, "dynamic power"
+        )
 
     def total_power_ratio(self, baseline: "SimulationResult") -> float:
-        """L2 total power normalized to a baseline run."""
-        if baseline.l2_total_power_w <= 0:
-            raise ZeroDivisionError("baseline total power is zero")
-        return self.l2_total_power_w / baseline.l2_total_power_w
+        """L2 total power normalized to a baseline run.
+
+        Raises :class:`~repro.errors.AnalysisError` if the baseline total
+        power is not positive.
+        """
+        return self.l2_total_power_w / self._baseline_quantity(
+            baseline, baseline.l2_total_power_w, "total power"
+        )

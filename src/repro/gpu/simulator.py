@@ -42,6 +42,7 @@ from repro.gpu.readonly import (
     TEXTURE_CACHE_CONFIG,
     ReadOnlyCache,
 )
+from repro.tracing import NULL_TRACER, TraceCollector
 from repro.workloads.trace import (
     FLAG_CONST,
     FLAG_LOCAL,
@@ -77,6 +78,7 @@ class GPUSimulator:
         time_dilation: float = TIME_DILATION,
         deferred_l1_fills: bool = True,
         start_time_s: float = 0.0,
+        tracer: Optional[TraceCollector] = None,
     ) -> None:
         if time_dilation <= 0:
             raise SimulationError("time dilation must be positive")
@@ -87,16 +89,22 @@ class GPUSimulator:
         self.time_dilation = time_dilation
         self.deferred_l1_fills = deferred_l1_fills
         self.start_time_s = start_time_s
+        #: trace collector shared by every instrumented component; the
+        #: shared no-op collector when tracing is off (results identical)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: replay-clock time when run() finished (kernel chaining)
         self.end_time_s = start_time_s
         # when chaining kernels over a shared L2, exclude energy spent
         # before this kernel from its power roll-up
         self._energy_baseline_j = l2.energy.total_j if l2 is not None else 0.0
+        # a pre-built l2 keeps whatever tracer it was constructed with
         self.l2 = l2 if l2 is not None else build_l2(
-            config.l2, track_intervals=track_intervals, tech=config.tech
+            config.l2, track_intervals=track_intervals, tech=config.tech,
+            tracer=tracer,
         )
         self.l1s = [
-            GPUL1Cache(config.l1, name=f"l1-sm{i}", deferred_fills=deferred_l1_fills)
+            GPUL1Cache(config.l1, name=f"l1-sm{i}", deferred_fills=deferred_l1_fills,
+                       tracer=self.tracer)
             for i in range(config.num_sms)
         ]
         self.const_caches = [
@@ -116,7 +124,16 @@ class GPUSimulator:
             num_channels=config.num_mem_controllers,
             line_size=config.l2.line_size,
             base_latency_s=config.dram_latency_s,
+            tracer=self.tracer,
         )
+        if self.tracer.enabled:
+            self.tracer.metadata.update({
+                "workload": workload.name,
+                "config": config.name,
+                "time_dilation": time_dilation,
+                "l2_clock": "dilated (L2/retention timestamps are "
+                            "replay-clock seconds x time_dilation)",
+            })
 
     def run(self) -> SimulationResult:
         """Replay the trace and roll up IPC and L2 power."""
@@ -133,6 +150,8 @@ class GPUSimulator:
         )
 
         sms, addresses, flags = self.workload.trace.columns()
+        tracer = self.tracer
+        trace_on = tracer.enabled
         now = self.start_time_s
         reads = 0
         stall_sum_s = 0.0  # exposed memory stall over all memory instructions
@@ -181,6 +200,13 @@ class GPUSimulator:
                     # write-backs leave the critical path; count the traffic
                     self.dram.access(request.address, True, now)
                     dram_writebacks += 1
+                if trace_on:
+                    tracer.count("sim.l2_requests")
+                    tracer.count(f"sim.l1_requests.{request.kind}")
+                    tracer.observe("l2.service_latency_s", result.latency_s)
+                    tracer.observe("l2.bank_wait_s", wait)
+                    if result.dram_writebacks:
+                        tracer.count("dram.writebacks", result.dram_writebacks)
                 if request.kind == "fetch":
                     total_latency = latency + noc_rt_cycles * cycle_s
                     stall_sum_s += total_latency
@@ -285,6 +311,22 @@ class GPUSimulator:
                 "buffer_overflow_rate": (
                     overflows / overflow_attempts if overflow_attempts else 0.0
                 ),
+            }
+
+        if self.tracer.enabled:
+            # fold aggregate gauges into the trace so its counters reconcile
+            # exactly with the SimulationResult fields (tested)
+            tracer = self.tracer
+            tracer.set_counter("l1.accesses", l1_accesses)
+            tracer.set_counter("l1.hits", l1_hits)
+            tracer.set_counter("l2.reads", l2_stats.reads)
+            tracer.set_counter("l2.writes", l2_stats.writes)
+            tracer.set_counter("dram.accesses_charged", dram_accesses)
+            tracer.metadata["result"] = {
+                "ipc": ipc,
+                "utilization": utilization,
+                "bound_by": bound_by,
+                "sim_time_s": sim_time_s,
             }
 
         return SimulationResult(

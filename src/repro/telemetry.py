@@ -25,7 +25,9 @@ Manifest schema (``MANIFEST_SCHEMA_VERSION = 1``)::
               benchmarks, experiments, config_fingerprint, wall_time_s},
       "totals": {jobs, cache_hits, cache_misses, wall_time_s},
       "jobs": [{key, kind, benchmark, trace_length, seed, experiments,
-                worker, wall_time_s, cache_hit, counters}, ...]
+                worker, wall_time_s, cache_hit, counters}, ...],
+      "trace": {...}   # optional: TraceCollector.summary() when the run
+                       # was traced (see docs/metrics.md); absent otherwise
     }
 """
 
@@ -104,10 +106,21 @@ class RunTelemetry:
     experiments: List[str] = field(default_factory=list)
     records: List[JobRecord] = field(default_factory=list)
     wall_time_s: float = 0.0
+    trace: Optional[Dict[str, Any]] = None
 
     def record(self, record: JobRecord) -> None:
         """Append one job's telemetry."""
         self.records.append(record)
+
+    def attach_trace(self, summary: Mapping[str, Any]) -> None:
+        """Attach a :meth:`~repro.tracing.TraceCollector.summary` document.
+
+        The summary (flat counters, histogram digests, event/drop totals) is
+        embedded under the manifest's optional ``"trace"`` key.  Readers of
+        schema version 1 manifests must tolerate its absence — it only
+        appears for runs executed with tracing enabled.
+        """
+        self.trace = dict(summary)
 
     @property
     def cache_hits(self) -> int:
@@ -141,6 +154,7 @@ class RunTelemetry:
                 "wall_time_s": sum(r.wall_time_s for r in self.records),
             },
             "jobs": [r.to_dict() for r in self.records],
+            **({"trace": self.trace} if self.trace is not None else {}),
         }
 
     def write(self, path: PathLike) -> None:

@@ -1,0 +1,46 @@
+"""In-simulator observability: structured event tracing and counters.
+
+``repro.tracing`` is the low-overhead instrumentation layer the simulator
+hot paths report into.  A :class:`~repro.tracing.collector.TraceCollector`
+accumulates three kinds of signal:
+
+* **named counters** — monotonically increasing integers/floats keyed by a
+  dotted name (``l2.migrations_to_lr``, ``dram.writebacks`` ...);
+* **bucketed histograms** — power-of-two latency/value distributions
+  (``l2.service_latency_s`` ...);
+* **timestamped events** — sampled instant events and counter tracks in
+  the Chrome ``chrome://tracing`` / Perfetto JSON format, so a run can be
+  opened and scrubbed interactively in https://ui.perfetto.dev.
+
+When tracing is disabled the instrumented code paths talk to the
+:data:`~repro.tracing.collector.NULL_TRACER` singleton — a
+:class:`~repro.tracing.collector.NullTraceCollector` whose methods are
+no-ops and whose ``enabled`` flag lets multi-call instrumentation blocks
+be skipped with a single attribute check — so simulation results stay
+byte-identical and the overhead is not measurable in the tier-1 battery.
+
+Every counter, histogram, and event name is documented in
+``docs/metrics.md``, mapped to the paper figure/claim it supports.
+"""
+
+from repro.tracing.collector import (
+    NULL_TRACER,
+    Histogram,
+    NullTraceCollector,
+    TraceCollector,
+)
+from repro.tracing.schema import (
+    TRACE_SCHEMA_VERSION,
+    trace_issues,
+    validate_trace,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "Histogram",
+    "NullTraceCollector",
+    "TraceCollector",
+    "TRACE_SCHEMA_VERSION",
+    "trace_issues",
+    "validate_trace",
+]

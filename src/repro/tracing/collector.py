@@ -1,0 +1,329 @@
+"""The trace collector: counters, histograms, and sampled timeline events.
+
+Design constraints (in priority order):
+
+1. **Zero cost when off** — instrumented hot paths hold a reference to
+   :data:`NULL_TRACER` and guard multi-call blocks with ``tracer.enabled``,
+   so a disabled run performs one attribute load per instrumentation site
+   and allocates nothing.  Tracing never mutates simulation state, so
+   results are byte-identical with tracing on or off.
+2. **Bounded when on** — counters and histograms are O(distinct names);
+   the event list is capped (``max_events``) and per-name sampled
+   (``sample_every``), so a long run cannot exhaust memory.  Dropped
+   events are counted, never silently discarded.
+3. **Standard output format** — :meth:`TraceCollector.to_chrome_trace`
+   renders the Chrome Trace Event JSON object format (``traceEvents`` +
+   ``otherData``), which https://ui.perfetto.dev and ``chrome://tracing``
+   load directly; the flat counters/histograms ride along in ``otherData``
+   and can be merged into a run-telemetry manifest
+   (:meth:`repro.telemetry.RunTelemetry.attach_trace`).
+
+This module deliberately imports only :mod:`repro.errors` at load time so
+any layer of the simulator (cache arrays, core, gpu) can depend on it
+without import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import TracingError
+
+PathLike = Union[str, Path]
+
+#: Default cap on recorded timeline events (counters are never capped).
+DEFAULT_MAX_EVENTS = 100_000
+
+
+class Histogram:
+    """A power-of-two bucketed value distribution.
+
+    Values are scaled by ``1 / unit`` (default unit ``1e-9``: a latency in
+    seconds lands in nanosecond buckets) and counted in the bucket whose
+    upper bound is the smallest power of two above the scaled value.
+    Alongside the buckets the exact ``count`` / ``total`` / ``min`` /
+    ``max`` are kept, so means are not subject to bucketing error.
+    """
+
+    __slots__ = ("unit", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, unit: float = 1e-9) -> None:
+        if unit <= 0:
+            raise TracingError(f"histogram unit must be positive, got {unit!r}")
+        self.unit = unit
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        #: bucket exponent -> count; bucket ``e`` holds scaled values in
+        #: ``(2**(e-1), 2**e]`` (``e = 0`` holds everything <= 1 unit)
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        """Record one value (in the histogram's native unit, e.g. seconds)."""
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        scaled = value / self.unit
+        if scaled > 1:
+            # smallest e with 2**e >= scaled; frexp is exact for floats
+            # where int(...-1).bit_length() truncates fractional values
+            mantissa, exponent = math.frexp(scaled)
+            if mantissa == 0.5:
+                exponent -= 1
+        else:
+            exponent = 0
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all observed values (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe rendering; bucket keys are upper bounds in units."""
+        return {
+            "unit": self.unit,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                str(1 << e): self.buckets[e] for e in sorted(self.buckets)
+            },
+        }
+
+
+class TraceCollector:
+    """Accumulates counters, histograms, and sampled timeline events.
+
+    Parameters
+    ----------
+    sample_every:
+        Keep one timeline event (or counter-track sample) out of every
+        ``sample_every`` emitted *per event name*.  Counters and histograms
+        are never sampled — they always see every occurrence, which is what
+        makes trace counters reconcile exactly with
+        :class:`~repro.gpu.metrics.SimulationResult` fields.
+    max_events:
+        Hard cap on stored timeline events; further events increment
+        ``dropped_events`` instead of growing the list.
+    """
+
+    #: Instrumented code guards multi-call blocks with this flag.
+    enabled = True
+
+    def __init__(
+        self,
+        sample_every: int = 1,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> None:
+        if sample_every < 1:
+            raise TracingError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
+        if max_events < 0:
+            raise TracingError(f"max_events must be >= 0, got {max_events}")
+        self.sample_every = sample_every
+        self.max_events = max_events
+        self.dropped_events = 0
+        #: free-form run context (workload/config names, clock notes ...)
+        self.metadata: Dict[str, Any] = {}
+        self._counters: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._events: List[Dict[str, Any]] = []
+        self._seen: Dict[str, int] = {}
+        self._tids: Dict[str, int] = {}
+
+    # --- counters / histograms (never sampled) -------------------------
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Increment the named counter by ``n`` (default 1)."""
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def set_counter(self, name: str, value: float) -> None:
+        """Set the named counter to an absolute value (end-of-run fold-in)."""
+        self._counters[name] = value
+
+    def observe(self, name: str, value: float, unit: float = 1e-9) -> None:
+        """Add one value to the named histogram (created on first use)."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram(unit=unit)
+        hist.observe(value)
+
+    # --- timeline events (sampled, capped) -----------------------------
+
+    def _tid(self, component: str) -> int:
+        tid = self._tids.get(component)
+        if tid is None:
+            tid = self._tids[component] = len(self._tids)
+        return tid
+
+    def _admit(self, name: str) -> bool:
+        seen = self._seen.get(name, 0)
+        self._seen[name] = seen + 1
+        if seen % self.sample_every:
+            return False
+        if len(self._events) >= self.max_events:
+            self.dropped_events += 1
+            return False
+        return True
+
+    def event(
+        self, name: str, now_s: float, component: str = "sim", **args: Any
+    ) -> None:
+        """Record a sampled instant event at simulated time ``now_s``.
+
+        ``component`` selects the Perfetto track (rendered as a thread);
+        keyword ``args`` become the event's inspectable arguments.
+        """
+        if not self._admit(name):
+            return
+        self._events.append({
+            "name": name,
+            "ph": "i",
+            "s": "t",
+            "ts": now_s * 1e6,  # Chrome trace timestamps are microseconds
+            "pid": 0,
+            "tid": self._tid(component),
+            "args": args,
+        })
+
+    def sample(
+        self, name: str, now_s: float, value: float, component: str = "sim"
+    ) -> None:
+        """Record a sampled point on a Chrome counter track (``ph: "C"``).
+
+        Used for time series like migration-buffer occupancy; Perfetto
+        renders these as stacked area charts.
+        """
+        if not self._admit(name):
+            return
+        self._events.append({
+            "name": name,
+            "ph": "C",
+            "ts": now_s * 1e6,
+            "pid": 0,
+            "tid": self._tid(component),
+            "args": {"value": value},
+        })
+
+    # --- export --------------------------------------------------------
+
+    def counters_dict(self) -> Dict[str, float]:
+        """Flat name -> value snapshot of every counter."""
+        return dict(self._counters)
+
+    def histograms_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Flat name -> :meth:`Histogram.to_dict` snapshot."""
+        return {name: h.to_dict() for name, h in self._histograms.items()}
+
+    @property
+    def num_events(self) -> int:
+        """Number of timeline events currently stored."""
+        return len(self._events)
+
+    def summary(self) -> Dict[str, Any]:
+        """The compact roll-up merged into telemetry manifests."""
+        from repro.tracing.schema import TRACE_SCHEMA_VERSION
+
+        return {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "sample_every": self.sample_every,
+            "events": self.num_events,
+            "dropped_events": self.dropped_events,
+            "counters": self.counters_dict(),
+            "histograms": self.histograms_dict(),
+            "metadata": dict(self.metadata),
+        }
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """Render the Chrome Trace Event Format JSON object.
+
+        ``traceEvents`` opens directly in Perfetto / ``chrome://tracing``;
+        ``otherData`` carries the schema version plus the full counter and
+        histogram snapshot (:meth:`summary`), so one file is both the
+        interactive timeline and the machine-readable metrics record.
+        """
+        events: List[Dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "repro-sttgpu"},
+            }
+        ]
+        for component, tid in self._tids.items():
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": component},
+            })
+        events.extend(sorted(self._events, key=lambda e: e["ts"]))
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": self.summary(),
+        }
+
+    def write(self, path: PathLike) -> Path:
+        """Write the Chrome trace JSON to ``path`` atomically; returns it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(self.to_chrome_trace(), indent=2))
+        os.replace(tmp, path)
+        return path
+
+
+class NullTraceCollector(TraceCollector):
+    """The disabled collector: every recording method is a no-op.
+
+    Hot paths hold this object by default, so instrumentation costs one
+    attribute load (``tracer.enabled``) per guarded block and nothing is
+    ever allocated.  Exporting a null trace is a programming error and
+    raises :class:`~repro.errors.TracingError`.
+    """
+
+    enabled = False
+
+    def count(self, name: str, n: float = 1) -> None:
+        """No-op."""
+
+    def set_counter(self, name: str, value: float) -> None:
+        """No-op."""
+
+    def observe(self, name: str, value: float, unit: float = 1e-9) -> None:
+        """No-op."""
+
+    def event(
+        self, name: str, now_s: float, component: str = "sim", **args: Any
+    ) -> None:
+        """No-op."""
+
+    def sample(
+        self, name: str, now_s: float, value: float, component: str = "sim"
+    ) -> None:
+        """No-op."""
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """Raise: a disabled collector has nothing to export."""
+        raise TracingError("tracing is disabled; no trace to export")
+
+    def write(self, path: PathLike) -> Path:
+        """Raise: a disabled collector has nothing to export."""
+        raise TracingError("tracing is disabled; no trace to export")
+
+
+#: Shared no-op collector instrumented components default to.
+NULL_TRACER = NullTraceCollector()

@@ -1,0 +1,145 @@
+"""Trace-document schema: what a valid emitted trace JSON must contain.
+
+A trace written by :meth:`repro.tracing.collector.TraceCollector.write` is
+a Chrome Trace Event Format *JSON object* document:
+
+``schema_version`` ``TRACE_SCHEMA_VERSION`` (in ``otherData``)::
+
+    {
+      "traceEvents": [ {name, ph, ts?, pid, tid, args?, s?}, ... ],
+      "displayTimeUnit": "ms",
+      "otherData": {
+        "schema_version": 1,
+        "sample_every": N, "events": N, "dropped_events": N,
+        "counters":   {"l2.migrations_to_lr": 123, ...},
+        "histograms": {"l2.service_latency_s": {unit, count, sum, min,
+                                                max, mean, buckets}, ...},
+        "metadata":   {...}
+      }
+    }
+
+Event phases used: ``"M"`` (metadata: process/thread names), ``"i"``
+(sampled instant events) and ``"C"`` (counter-track samples).  CI and the
+tests validate every emitted trace against this schema via
+:func:`validate_trace`; :func:`trace_issues` returns the individual
+violations for diagnostics.  The counter/histogram/event name registry
+itself (which names exist and what they mean) lives in ``docs/metrics.md``.
+"""
+
+from __future__ import annotations
+
+from numbers import Number
+from typing import Any, List, Mapping
+
+from repro.errors import TracingError
+
+#: Version stamped into ``otherData.schema_version``; bump on breaking change.
+TRACE_SCHEMA_VERSION = 1
+
+#: Event phases the collector emits.
+_VALID_PHASES = ("M", "i", "C")
+
+_EVENT_REQUIRED = ("name", "ph", "pid", "tid")
+
+
+def _issues_for_event(i: int, event: Any) -> List[str]:
+    issues: List[str] = []
+    if not isinstance(event, Mapping):
+        return [f"traceEvents[{i}]: not an object"]
+    for key in _EVENT_REQUIRED:
+        if key not in event:
+            issues.append(f"traceEvents[{i}]: missing {key!r}")
+    if not isinstance(event.get("name"), str):
+        issues.append(f"traceEvents[{i}]: name must be a string")
+    phase = event.get("ph")
+    if phase not in _VALID_PHASES:
+        issues.append(
+            f"traceEvents[{i}]: phase {phase!r} not in {_VALID_PHASES}"
+        )
+    if phase != "M":
+        ts = event.get("ts")
+        if not isinstance(ts, Number) or isinstance(ts, bool) or ts < 0:
+            issues.append(
+                f"traceEvents[{i}]: ts must be a non-negative number, "
+                f"got {ts!r}"
+            )
+    if phase == "C":
+        args = event.get("args")
+        if not (isinstance(args, Mapping) and "value" in args):
+            issues.append(
+                f"traceEvents[{i}]: counter event needs args.value"
+            )
+    for key in ("pid", "tid"):
+        if key in event and not isinstance(event[key], int):
+            issues.append(f"traceEvents[{i}]: {key} must be an integer")
+    return issues
+
+
+def _issues_for_histogram(name: str, hist: Any) -> List[str]:
+    issues: List[str] = []
+    if not isinstance(hist, Mapping):
+        return [f"histograms[{name!r}]: not an object"]
+    for key in ("unit", "count", "sum", "buckets"):
+        if key not in hist:
+            issues.append(f"histograms[{name!r}]: missing {key!r}")
+    buckets = hist.get("buckets")
+    if not isinstance(buckets, Mapping):
+        issues.append(f"histograms[{name!r}]: buckets must be an object")
+    elif isinstance(hist.get("count"), int):
+        total = sum(v for v in buckets.values() if isinstance(v, int))
+        if total != hist["count"]:
+            issues.append(
+                f"histograms[{name!r}]: bucket counts sum to {total}, "
+                f"count says {hist['count']}"
+            )
+    return issues
+
+
+def trace_issues(document: Any) -> List[str]:
+    """Every schema violation in ``document`` (empty list when valid)."""
+    if not isinstance(document, Mapping):
+        return ["trace document is not a JSON object"]
+    issues: List[str] = []
+
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        issues.append("traceEvents missing or not a list")
+        events = []
+    for i, event in enumerate(events):
+        issues.extend(_issues_for_event(i, event))
+
+    other = document.get("otherData")
+    if not isinstance(other, Mapping):
+        issues.append("otherData missing or not an object")
+        return issues
+    if other.get("schema_version") != TRACE_SCHEMA_VERSION:
+        issues.append(
+            f"otherData.schema_version is {other.get('schema_version')!r}, "
+            f"expected {TRACE_SCHEMA_VERSION}"
+        )
+    counters = other.get("counters")
+    if not isinstance(counters, Mapping):
+        issues.append("otherData.counters missing or not an object")
+    else:
+        for name, value in counters.items():
+            if not isinstance(value, Number) or isinstance(value, bool):
+                issues.append(f"counters[{name!r}]: value {value!r} not numeric")
+    histograms = other.get("histograms")
+    if not isinstance(histograms, Mapping):
+        issues.append("otherData.histograms missing or not an object")
+    else:
+        for name, hist in histograms.items():
+            issues.extend(_issues_for_histogram(name, hist))
+    return issues
+
+
+def validate_trace(document: Any) -> None:
+    """Raise :class:`~repro.errors.TracingError` unless ``document`` is valid.
+
+    Used by the tests and the CI trace-smoke job on every emitted trace.
+    """
+    issues = trace_issues(document)
+    if issues:
+        raise TracingError(
+            "invalid trace document:\n  " + "\n  ".join(issues)
+        )

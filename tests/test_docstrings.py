@@ -1,9 +1,9 @@
 """Docstring enforcement for the experiment and telemetry layers.
 
 A lightweight pydocstyle-style gate: every module, public class and public
-function in ``repro.experiments.*``, ``repro.telemetry`` and ``repro.io``
-must carry a docstring, and the experiment modules' docstrings must state
-their job-decomposition contract.
+function in ``repro.experiments.*``, ``repro.telemetry``, ``repro.io`` and
+``repro.tracing.*`` must carry a docstring, and the experiment modules'
+docstrings must state their job-decomposition contract.
 """
 
 import importlib
@@ -17,7 +17,10 @@ import repro.experiments
 CHECKED_MODULES = sorted(
     f"repro.experiments.{m.name}"
     for m in pkgutil.iter_modules(repro.experiments.__path__)
-) + ["repro.experiments", "repro.telemetry", "repro.io"]
+) + [
+    "repro.experiments", "repro.telemetry", "repro.io",
+    "repro.tracing", "repro.tracing.collector", "repro.tracing.schema",
+]
 
 #: Modules decomposed into per-benchmark jobs must document the contract.
 JOB_CONTRACT_MODULES = (

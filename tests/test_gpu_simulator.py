@@ -121,10 +121,26 @@ class TestMetricsHelpers:
     def test_speedup_zero_baseline_raises(self, bfs_results):
         import dataclasses
 
+        from repro.errors import AnalysisError
+
         base = bfs_results["baseline"]
         broken = dataclasses.replace(base, ipc=0.0)
-        with pytest.raises(ZeroDivisionError):
+        with pytest.raises(AnalysisError, match="baseline IPC"):
             base.speedup_over(broken)
+
+    def test_power_ratio_zero_baseline_names_runs(self, bfs_results):
+        import dataclasses
+
+        from repro.errors import AnalysisError
+
+        base = bfs_results["baseline"]
+        broken = dataclasses.replace(
+            base, l2_dynamic_power_w=0.0, l2_leakage_power_w=0.0
+        )
+        with pytest.raises(AnalysisError, match="bfs/baseline"):
+            base.dynamic_power_ratio(broken)
+        with pytest.raises(AnalysisError, match="total power"):
+            base.total_power_ratio(broken)
 
     def test_energy_breakdown_sums(self, bfs_results):
         for result in bfs_results.values():

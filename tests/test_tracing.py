@@ -1,0 +1,361 @@
+"""Tests for the observability layer: collector, schema, and wiring.
+
+Covers the tentpole contracts:
+
+* counters/histograms are exact (never sampled) and reconcile with
+  :class:`~repro.gpu.metrics.SimulationResult` field for field;
+* disabled tracing is a true no-op — byte-identical results, bounded
+  wall time, no trace artifacts;
+* emitted documents satisfy the Chrome-trace schema validator end to end
+  (collector -> file -> ``validate_trace``), including via the CLI.
+"""
+
+import dataclasses
+import json
+import time
+
+import pytest
+
+from repro.config import config_c1
+from repro.errors import TracingError
+from repro.gpu.simulator import GPUSimulator, simulate
+from repro.io import canonical_json
+from repro.tracing import (
+    NULL_TRACER,
+    Histogram,
+    NullTraceCollector,
+    TraceCollector,
+    TRACE_SCHEMA_VERSION,
+    trace_issues,
+    validate_trace,
+)
+from repro.workloads import build_workload
+
+TRACE = 4000  # small traces keep the module fast
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One traced C1 simulation shared by the reconciliation tests."""
+    tracer = TraceCollector(sample_every=2)
+    workload = build_workload("nn", num_accesses=TRACE, seed=0)
+    result = GPUSimulator(config_c1(), workload, tracer=tracer).run()
+    return tracer, result
+
+
+class TestHistogram:
+    def test_power_of_two_buckets(self):
+        h = Histogram(unit=1.0)
+        for value in (0.5, 1.0, 1.5, 2.0, 3.0, 9.0):
+            h.observe(value)
+        rendered = h.to_dict()["buckets"]
+        # (.., 1] ; (1, 2] ; (2, 4] ; (8, 16]
+        assert rendered == {"1": 2, "2": 2, "4": 1, "16": 1}
+
+    def test_exact_moments_survive_bucketing(self):
+        h = Histogram(unit=1e-9)
+        values = [3e-9, 5e-9, 100e-9]
+        for v in values:
+            h.observe(v)
+        d = h.to_dict()
+        assert d["count"] == 3
+        assert d["sum"] == pytest.approx(sum(values))
+        assert d["min"] == pytest.approx(3e-9)
+        assert d["max"] == pytest.approx(100e-9)
+        assert d["mean"] == pytest.approx(sum(values) / 3)
+
+    def test_bucket_counts_sum_to_count(self):
+        h = Histogram()
+        for i in range(100):
+            h.observe(i * 1e-9)
+        assert sum(h.buckets.values()) == h.count == 100
+
+    def test_bad_unit_rejected(self):
+        with pytest.raises(TracingError):
+            Histogram(unit=0)
+
+
+class TestTraceCollector:
+    def test_counters_are_never_sampled(self):
+        t = TraceCollector(sample_every=10)
+        for _ in range(25):
+            t.count("x")
+            t.observe("h", 1e-9)
+        assert t.counters_dict()["x"] == 25
+        assert t.histograms_dict()["h"]["count"] == 25
+
+    def test_events_sampled_per_name(self):
+        t = TraceCollector(sample_every=3)
+        for i in range(9):
+            t.event("a", i * 1e-6)
+        for i in range(2):
+            t.event("b", i * 1e-6)
+        # a: admitted at occurrences 0, 3, 6; b: admitted at 0
+        assert t.num_events == 4
+
+    def test_event_cap_counts_drops(self):
+        t = TraceCollector(max_events=5)
+        for i in range(8):
+            t.event("a", i * 1e-6)
+        assert t.num_events == 5
+        assert t.dropped_events == 3
+        assert t.summary()["dropped_events"] == 3
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(TracingError):
+            TraceCollector(sample_every=0)
+        with pytest.raises(TracingError):
+            TraceCollector(max_events=-1)
+
+    def test_chrome_trace_shape(self):
+        t = TraceCollector()
+        t.count("c", 2)
+        t.event("e", 1e-6, component="l2", line=42)
+        t.sample("occ", 2e-6, 7.0, component="l2.buffer")
+        doc = t.to_chrome_trace()
+        assert not trace_issues(doc)
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"process_name", "thread_name", "e", "occ"} <= names
+        assert doc["otherData"]["schema_version"] == TRACE_SCHEMA_VERSION
+        assert doc["otherData"]["counters"]["c"] == 2
+        # components map to stable thread tracks
+        tids = {
+            e["args"]["name"]: e["tid"]
+            for e in doc["traceEvents"] if e["name"] == "thread_name"
+        }
+        assert set(tids) == {"l2", "l2.buffer"}
+
+    def test_write_round_trips_through_validator(self, tmp_path):
+        t = TraceCollector()
+        t.count("c")
+        t.event("e", 1e-6)
+        path = t.write(tmp_path / "trace.json")
+        validate_trace(json.loads(path.read_text()))
+
+
+class TestNullCollector:
+    def test_shared_singleton_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTraceCollector)
+
+    def test_recorders_accumulate_nothing(self):
+        NULL_TRACER.count("x", 5)
+        NULL_TRACER.set_counter("y", 1)
+        NULL_TRACER.observe("h", 1e-9)
+        NULL_TRACER.event("e", 0.0)
+        NULL_TRACER.sample("s", 0.0, 1.0)
+        assert NULL_TRACER.counters_dict() == {}
+        assert NULL_TRACER.histograms_dict() == {}
+        assert NULL_TRACER.num_events == 0
+
+    def test_export_raises(self, tmp_path):
+        with pytest.raises(TracingError):
+            NULL_TRACER.to_chrome_trace()
+        with pytest.raises(TracingError):
+            NULL_TRACER.write(tmp_path / "never.json")
+
+
+class TestSchemaValidation:
+    def _minimal(self):
+        return {
+            "traceEvents": [
+                {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+                 "args": {"name": "x"}},
+                {"name": "e", "ph": "i", "s": "t", "ts": 1.0, "pid": 0,
+                 "tid": 0, "args": {}},
+            ],
+            "otherData": {
+                "schema_version": TRACE_SCHEMA_VERSION,
+                "counters": {"c": 1},
+                "histograms": {},
+            },
+        }
+
+    def test_minimal_document_passes(self):
+        assert trace_issues(self._minimal()) == []
+
+    def test_bad_phase_detected(self):
+        doc = self._minimal()
+        doc["traceEvents"][1]["ph"] = "X"
+        assert any("ph" in issue for issue in trace_issues(doc))
+
+    def test_missing_timestamp_detected(self):
+        doc = self._minimal()
+        del doc["traceEvents"][1]["ts"]
+        assert trace_issues(doc)
+
+    def test_counter_event_needs_value(self):
+        doc = self._minimal()
+        doc["traceEvents"].append(
+            {"name": "c", "ph": "C", "ts": 1.0, "pid": 0, "tid": 0,
+             "args": {}}
+        )
+        assert trace_issues(doc)
+
+    def test_schema_version_mismatch_detected(self):
+        doc = self._minimal()
+        doc["otherData"]["schema_version"] = 999
+        assert any("schema_version" in issue for issue in trace_issues(doc))
+
+    def test_histogram_bucket_sum_checked(self):
+        doc = self._minimal()
+        doc["otherData"]["histograms"]["h"] = {
+            "unit": 1e-9, "count": 3, "sum": 1.0, "buckets": {"1": 1},
+        }
+        assert any("bucket" in issue for issue in trace_issues(doc))
+
+    def test_validate_trace_raises_with_all_issues(self):
+        doc = self._minimal()
+        doc["traceEvents"][1]["ph"] = "X"
+        doc["otherData"]["schema_version"] = 999
+        with pytest.raises(TracingError) as excinfo:
+            validate_trace(doc)
+        assert "ph" in str(excinfo.value)
+        assert "schema_version" in str(excinfo.value)
+
+
+class TestSimulatorReconciliation:
+    """Trace counters must equal SimulationResult fields exactly."""
+
+    RECONCILED = [
+        ("sim.l2_requests", "l2_requests"),
+        ("l2.migrations_to_lr", "migrations_to_lr"),
+        ("l2.refresh_writes", "refresh_writes"),
+        ("l2.data_losses", "data_losses"),
+        ("dram.writebacks", "dram_writebacks"),
+        ("l2.reads", "l2_reads"),
+        ("l2.writes", "l2_writes"),
+        ("dram.accesses_charged", "dram_accesses"),
+    ]
+
+    @pytest.mark.parametrize("counter,field", RECONCILED)
+    def test_counter_equals_result_field(self, traced_run, counter, field):
+        tracer, result = traced_run
+        assert tracer.counters_dict().get(counter, 0) == getattr(result, field)
+
+    def test_l1_hit_rate_recomputable(self, traced_run):
+        tracer, result = traced_run
+        counters = tracer.counters_dict()
+        assert result.l1_hit_rate == pytest.approx(
+            counters["l1.accesses"] and
+            counters["l1.hits"] / counters["l1.accesses"]
+        )
+
+    def test_request_kinds_sum_to_l2_requests(self, traced_run):
+        tracer, result = traced_run
+        counters = tracer.counters_dict()
+        kinds = sum(
+            v for k, v in counters.items()
+            if k.startswith("sim.l1_requests.")
+        )
+        assert kinds == result.l2_requests
+
+    def test_serve_split_sums_to_l2_requests(self, traced_run):
+        tracer, result = traced_run
+        counters = tracer.counters_dict()
+        served = sum(
+            v for k, v in counters.items() if k.startswith("l2.serve.")
+        )
+        assert served == result.l2_requests
+
+    def test_histograms_cover_every_request(self, traced_run):
+        tracer, result = traced_run
+        hists = tracer.histograms_dict()
+        assert hists["l2.service_latency_s"]["count"] == result.l2_requests
+        assert hists["l2.bank_wait_s"]["count"] == result.l2_requests
+
+    def test_metadata_self_describing(self, traced_run):
+        tracer, _ = traced_run
+        assert tracer.metadata["workload"] == "nn"
+        assert tracer.metadata["config"] == "C1"
+        assert "l2" in tracer.metadata
+        assert tracer.metadata["result"]["ipc"] > 0
+
+    def test_full_document_validates(self, traced_run, tmp_path):
+        tracer, _ = traced_run
+        path = tracer.write(tmp_path / "sim-trace.json")
+        validate_trace(json.loads(path.read_text()))
+
+    def test_per_set_eviction_counts_exposed(self, traced_run):
+        tracer, _ = traced_run
+        counters = tracer.counters_dict()
+        evictions = sum(
+            v for k, v in counters.items()
+            if k.startswith("cache.twopart-") and "evictions" in k
+        )
+        assert evictions >= 0  # present and non-negative by construction
+
+
+class TestZeroOverheadContract:
+    def test_disabled_tracing_byte_identical(self):
+        results = []
+        for tracer in (None, TraceCollector(sample_every=4)):
+            workload = build_workload("nn", num_accesses=TRACE, seed=0)
+            sim = GPUSimulator(config_c1(), workload, tracer=tracer)
+            results.append(canonical_json(dataclasses.asdict(sim.run())))
+        assert results[0] == results[1]
+
+    def test_untraced_runs_are_identical_and_fast(self):
+        workload = build_workload("nn", num_accesses=TRACE, seed=0)
+        start = time.monotonic()
+        first = simulate(config_c1(), workload)
+        elapsed = time.monotonic() - start
+        workload = build_workload("nn", num_accesses=TRACE, seed=0)
+        second = simulate(config_c1(), workload)
+        assert canonical_json(dataclasses.asdict(first)) == canonical_json(
+            dataclasses.asdict(second)
+        )
+        # generous absolute budget: the guarded no-op instrumentation must
+        # not turn a sub-second run into a slow one (catches accidental
+        # unguarded allocation in hot paths)
+        assert elapsed < 30.0
+
+    def test_untraced_simulator_holds_the_shared_null(self):
+        workload = build_workload("nn", num_accesses=200, seed=0)
+        sim = GPUSimulator(config_c1(), workload)
+        assert sim.tracer is NULL_TRACER
+        assert sim.dram.tracer is NULL_TRACER
+        assert all(l1.tracer is NULL_TRACER for l1 in sim.l1s)
+
+
+class TestCLITraceFlags:
+    def test_trace_run_emits_valid_artifacts(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace_file = tmp_path / "trace.json"
+        manifest_file = tmp_path / "run.json"
+        code = main([
+            "simulate", "nn", "C1", "--trace-length", str(TRACE),
+            "--trace", "--trace-sample", "4",
+            "--trace-out", str(trace_file),
+            "--manifest", str(manifest_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace          :" in out
+        document = json.loads(trace_file.read_text())
+        validate_trace(document)
+        manifest = json.loads(manifest_file.read_text())
+        assert manifest["trace"]["counters"] == (
+            document["otherData"]["counters"]
+        )
+        assert manifest["trace"]["sample_every"] == 4
+
+    def test_trace_sample_validated(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "simulate", "nn", "C1", "--trace", "--trace-sample", "0",
+        ]) == 2
+        assert "--trace-sample" in capsys.readouterr().err
+
+    def test_untraced_cli_writes_no_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace_file = tmp_path / "trace.json"
+        code = main([
+            "simulate", "nn", "C1", "--trace-length", "500",
+            "--trace-out", str(trace_file),
+        ])
+        assert code == 0
+        assert not trace_file.exists()
