@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional, Union
 
 from repro.areapower.sram import SRAMArrayModel
@@ -99,7 +100,7 @@ class CacheEnergyModel:
 
     # --- constituent arrays ------------------------------------------------
 
-    @property
+    @cached_property
     def tag_record_bits(self) -> int:
         """Bits per tag record (tag + status + architectural counters)."""
         return (
@@ -108,12 +109,12 @@ class CacheEnergyModel:
             + self.extra_status_bits
         )
 
-    @property
+    @cached_property
     def num_lines(self) -> int:
         """Total line count."""
         return self.capacity_bytes // self.line_size_bytes
 
-    @property
+    @cached_property
     def tag_array(self) -> SRAMArrayModel:
         """The SRAM tag array; a probe reads one set's tag records."""
         tag_capacity = max(1, (self.num_lines * self.tag_record_bits + 7) // 8)
@@ -124,7 +125,7 @@ class CacheEnergyModel:
             wire=self.wire,
         )
 
-    @property
+    @cached_property
     def data_array(self) -> DataArray:
         """The data array (SRAM or STT-RAM)."""
         if self.sram_data:
@@ -146,49 +147,49 @@ class CacheEnergyModel:
 
     # --- per-operation energies --------------------------------------------
 
-    @property
+    @cached_property
     def tag_probe_energy(self) -> float:
         """Energy (J) of checking one set's tags."""
         return self.tag_array.read_energy
 
-    @property
+    @cached_property
     def read_hit_energy(self) -> float:
         """Energy (J) of a read hit: tag probe + line read."""
         return self.tag_probe_energy + self.data_array.read_energy
 
-    @property
+    @cached_property
     def write_hit_energy(self) -> float:
         """Energy (J) of a write hit: tag probe + line write."""
         return self.tag_probe_energy + self.data_array.write_energy
 
-    @property
+    @cached_property
     def fill_energy(self) -> float:
         """Energy (J) of installing a line: tag write + line write."""
         return self.tag_array.write_energy + self.data_array.write_energy
 
-    @property
+    @cached_property
     def data_read_energy(self) -> float:
         """Energy (J) of a data-array-only line read (migration source)."""
         return self.data_array.read_energy
 
-    @property
+    @cached_property
     def data_write_energy(self) -> float:
         """Energy (J) of a data-array-only line write (migration target)."""
         return self.data_array.write_energy
 
     # --- leakage / area / latency --------------------------------------------
 
-    @property
+    @cached_property
     def leakage_power(self) -> float:
         """Static power (W): tags + data."""
         return self.tag_array.leakage_power + self.data_array.leakage_power
 
-    @property
+    @cached_property
     def area(self) -> float:
         """Total footprint (m^2)."""
         return self.tag_array.area + self.data_array.area
 
-    @property
+    @cached_property
     def read_latency(self) -> float:
         """Read hit latency (s): tags and data probed in series (tag-first)."""
         if self.sram_data:
@@ -197,7 +198,7 @@ class CacheEnergyModel:
             data_latency = self.data_array.read_latency
         return self.tag_array.access_latency + data_latency
 
-    @property
+    @cached_property
     def write_latency(self) -> float:
         """Write hit latency (s)."""
         if self.sram_data:

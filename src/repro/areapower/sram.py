@@ -9,6 +9,7 @@ against CACTI 6.5 outputs for multi-hundred-KB 40 nm arrays.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.areapower.technology import TechnologyNode, TECH_40NM
 from repro.areapower.wire import WireModel
@@ -60,7 +61,7 @@ class SRAMArrayModel:
 
     # --- geometry -----------------------------------------------------------
 
-    @property
+    @cached_property
     def area(self) -> float:
         """Array footprint (m^2) including periphery."""
         cells = self.capacity_bytes * 8
@@ -68,13 +69,13 @@ class SRAMArrayModel:
 
     # --- energy --------------------------------------------------------------
 
-    @property
+    @cached_property
     def read_energy(self) -> float:
         """Dynamic energy (J) per read access."""
         bit_energy = self.tech.sram_bit_read_energy * self.access_bits
         return bit_energy + self.wire.energy(self.area, self.access_bits)
 
-    @property
+    @cached_property
     def write_energy(self) -> float:
         """Dynamic energy (J) per write access."""
         bit_energy = self.tech.sram_bit_write_energy * self.access_bits
@@ -82,7 +83,7 @@ class SRAMArrayModel:
 
     # --- leakage ---------------------------------------------------------------
 
-    @property
+    @cached_property
     def leakage_power(self) -> float:
         """Static power (W) of the whole array (cells + periphery margin)."""
         cell_leak = self.capacity_bytes * self.tech.sram_leakage_per_byte()
@@ -91,17 +92,17 @@ class SRAMArrayModel:
 
     # --- latency --------------------------------------------------------------
 
-    @property
+    @cached_property
     def access_latency(self) -> float:
         """Access latency (s): decoder/sense floor + one H-tree traversal."""
         return self.base_latency + self.wire.delay(self.area)
 
-    @property
+    @cached_property
     def read_latency(self) -> float:
         """Alias: SRAM reads and writes are symmetric."""
         return self.access_latency
 
-    @property
+    @cached_property
     def write_latency(self) -> float:
         """Alias: SRAM reads and writes are symmetric."""
         return self.access_latency

@@ -13,6 +13,7 @@ the paper's observation that STT leakage is "negligible" but non-zero.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional
 
 from repro.areapower.technology import TechnologyNode, TECH_40NM
@@ -73,28 +74,28 @@ class STTDataArrayModel:
 
     # --- geometry --------------------------------------------------------
 
-    @property
+    @cached_property
     def area(self) -> float:
         """Array footprint (m^2); the 1T1J cell is ~4x denser than 6T SRAM."""
         cells = self.capacity_bytes * 8
         cell_area = STT_CELL_AREA_F2 * self.tech.feature_size**2
         return cells * cell_area / self.array_efficiency
 
-    @property
+    @cached_property
     def access_bits(self) -> int:
         """Bits moved per line access."""
         return self.line_size_bytes * 8
 
     # --- energy --------------------------------------------------------------
 
-    @property
+    @cached_property
     def read_energy(self) -> float:
         """Dynamic energy (J) per line read, device + wires."""
         device = self.level.read_energy_per_line(self.line_size_bytes)
         sense_overhead = self.tech.sram_bit_read_energy * self.access_bits * 0.5
         return device + sense_overhead + self.wire.energy(self.area, self.access_bits)
 
-    @property
+    @cached_property
     def write_energy(self) -> float:
         """Dynamic energy (J) per line write, dominated by the MTJ pulses.
 
@@ -108,7 +109,7 @@ class STTDataArrayModel:
 
     # --- leakage --------------------------------------------------------------
 
-    @property
+    @cached_property
     def leakage_power(self) -> float:
         """Periphery-only leakage (W); MTJ cells themselves do not leak."""
         sram_equivalent = self.capacity_bytes * self.tech.sram_leakage_per_byte()
@@ -116,12 +117,12 @@ class STTDataArrayModel:
 
     # --- latency --------------------------------------------------------------
 
-    @property
+    @cached_property
     def read_latency(self) -> float:
         """Line read latency (s)."""
         return self.base_latency + self.level.read_latency + self.wire.delay(self.area)
 
-    @property
+    @cached_property
     def write_latency(self) -> float:
         """Line write latency (s), dominated by the MTJ write pulse."""
         return self.base_latency + self.level.write_latency + self.wire.delay(self.area)

@@ -36,31 +36,40 @@ class AddressMapper:
             raise GeometryError(f"line size must be a power of two, got {self.line_size}")
         if self.num_sets <= 0:
             raise GeometryError(f"set count must be positive, got {self.num_sets}")
+        # Shift/mask constants are fixed by the geometry; compute them once
+        # so split() on the replay hot path is pure integer ops.  The
+        # dataclass is frozen, hence object.__setattr__.
+        object.__setattr__(self, "_offset_bits", log2_int(self.line_size))
+        object.__setattr__(self, "_line_mask", ~(self.line_size - 1))
+        pow2 = is_power_of_two(self.num_sets)
+        object.__setattr__(self, "_pow2", pow2)
+        object.__setattr__(self, "_set_bits", log2_int(self.num_sets) if pow2 else 0)
+        object.__setattr__(self, "_set_mask", self.num_sets - 1 if pow2 else 0)
 
     @property
     def offset_bits(self) -> int:
         """Bits addressing bytes within a line."""
-        return log2_int(self.line_size)
+        return self._offset_bits
 
     @property
     def pow2_sets(self) -> bool:
         """True when the fast mask path applies."""
-        return is_power_of_two(self.num_sets)
+        return self._pow2
 
     def split(self, address: int) -> tuple:
         """Return ``(tag, set_index)`` for a byte address."""
         if address < 0:
             raise GeometryError(f"address must be non-negative, got {address}")
-        line = address >> self.offset_bits
-        if self.pow2_sets:
-            return line >> log2_int(self.num_sets), line & (self.num_sets - 1)
+        line = address >> self._offset_bits
+        if self._pow2:
+            return line >> self._set_bits, line & self._set_mask
         return divmod(line, self.num_sets)[0], line % self.num_sets
 
     def line_address(self, address: int) -> int:
         """The line-aligned address containing ``address``."""
         if address < 0:
             raise GeometryError(f"address must be non-negative, got {address}")
-        return address & ~(self.line_size - 1)
+        return address & self._line_mask
 
     def rebuild(self, tag: int, set_index: int) -> int:
         """Inverse of :meth:`split`: reconstruct the line-aligned address."""
@@ -68,11 +77,11 @@ class AddressMapper:
             raise GeometryError(f"set index {set_index} out of range")
         if tag < 0:
             raise GeometryError(f"tag must be non-negative, got {tag}")
-        if self.pow2_sets:
-            line = (tag << log2_int(self.num_sets)) | set_index
+        if self._pow2:
+            line = (tag << self._set_bits) | set_index
         else:
             line = tag * self.num_sets + set_index
-        return line << self.offset_bits
+        return line << self._offset_bits
 
 
 def bank_index(address: int, line_size: int, num_banks: int) -> int:

@@ -76,11 +76,20 @@ class SetAssociativeCache:
         self.write_allocate = write_allocate
         self.write_counter_saturation = write_counter_saturation
         self.mapper = AddressMapper(line_size=line_size, num_sets=num_sets)
+        #: the one shared address decomposition every path goes through
+        #: (probe/access/fill/invalidate/evict/extract/block_at) — bound once
+        #: so a geometry change can never desynchronize them
+        self._split = self.mapper.split
         self.sets: List[CacheSet] = [
             CacheSet(associativity, policy=policy, seed=seed + i)
             for i in range(num_sets)
         ]
         self.stats = CacheStats()
+        # AccessOutcome is frozen, so identical outcomes are shareable:
+        # pre-build the plain-hit and unallocated-miss records per location
+        # instead of allocating a fresh object per request.
+        self._hit_outcomes: dict = {}
+        self._miss_outcomes: dict = {}
         #: optional trace collector (``cache.<name>.*`` counters)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: replacement-victim count per set (eviction-pressure profile)
@@ -102,8 +111,17 @@ class SetAssociativeCache:
 
     def probe(self, address: int) -> bool:
         """Presence check without side effects (no stats, no LRU update)."""
-        tag, index = self.mapper.split(address)
+        tag, index = self._split(address)
         return self.sets[index].lookup(tag) is not None
+
+    def _hit_outcome(self, index: int, way: int) -> AccessOutcome:
+        """The shared plain-hit outcome for ``(index, way)``."""
+        key = index * self.associativity + way
+        outcome = self._hit_outcomes.get(key)
+        if outcome is None:
+            outcome = AccessOutcome(hit=True, set_index=index, way=way)
+            self._hit_outcomes[key] = outcome
+        return outcome
 
     def access(
         self, address: int, is_write: bool, now: float = 0.0, allocate: bool = True
@@ -116,9 +134,49 @@ class SetAssociativeCache:
         unfilled — callers with MSHRs install the line later via
         :meth:`fill` when the fetch completes.
         """
-        tag, index = self.mapper.split(address)
+        tag, index = self._split(address)
         cache_set = self.sets[index]
         way = cache_set.lookup(tag)
+        stats = self.stats
+
+        if is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+
+        if way is not None:
+            if is_write:
+                stats.write_hits += 1
+                cache_set.record_write(
+                    way, now, saturate_at=self.write_counter_saturation
+                )
+            else:
+                stats.read_hits += 1
+                cache_set.record_read(way, now)
+            cache_set.touch(way)
+            return self._hit_outcome(index, way)
+
+        # miss
+        if not allocate or (is_write and not self.write_allocate):
+            outcome = self._miss_outcomes.get(index)
+            if outcome is None:
+                outcome = AccessOutcome(hit=False, set_index=index, way=-1)
+                self._miss_outcomes[index] = outcome
+            return outcome
+        return self._fill(cache_set, index, tag, now, dirty=is_write)
+
+    def _slow_access(
+        self, address: int, is_write: bool, now: float = 0.0, allocate: bool = True
+    ) -> AccessOutcome:
+        """Reference implementation of :meth:`access` via linear way scans.
+
+        Pre-optimization semantics, kept ONLY for the dict-vs-scan
+        equivalence test (``tests/test_perf_equivalence.py``); allocates a
+        fresh outcome per call and looks the tag up by scanning ways.
+        """
+        tag, index = self.mapper.split(address)
+        cache_set = self.sets[index]
+        way = cache_set.lookup_linear(tag)
 
         if is_write:
             self.stats.writes += 1
@@ -137,7 +195,6 @@ class SetAssociativeCache:
             cache_set.touch(way)
             return AccessOutcome(hit=True, set_index=index, way=way)
 
-        # miss
         if not allocate or (is_write and not self.write_allocate):
             return AccessOutcome(hit=False, set_index=index, way=-1)
         return self._fill(cache_set, index, tag, now, dirty=is_write)
@@ -148,7 +205,7 @@ class SetAssociativeCache:
         If the line is already present it is refreshed in place (policy touch,
         dirty bit OR-ed in) rather than duplicated.
         """
-        tag, index = self.mapper.split(address)
+        tag, index = self._split(address)
         cache_set = self.sets[index]
         way = cache_set.lookup(tag)
         if way is not None:
@@ -157,7 +214,7 @@ class SetAssociativeCache:
                     way, now, saturate_at=self.write_counter_saturation
                 )
             cache_set.touch(way)
-            return AccessOutcome(hit=True, set_index=index, way=way)
+            return self._hit_outcome(index, way)
         return self._fill(cache_set, index, tag, now, dirty=dirty)
 
     def _fill(
@@ -195,7 +252,7 @@ class SetAssociativeCache:
 
     def invalidate(self, address: int) -> bool:
         """Drop a line if present; returns True when something was dropped."""
-        tag, index = self.mapper.split(address)
+        tag, index = self._split(address)
         cache_set = self.sets[index]
         way = cache_set.lookup(tag)
         if way is None:
@@ -206,7 +263,7 @@ class SetAssociativeCache:
 
     def evict(self, address: int) -> Optional[Tuple[int, bool]]:
         """Remove a line, returning ``(line_address, was_dirty)`` if present."""
-        tag, index = self.mapper.split(address)
+        tag, index = self._split(address)
         cache_set = self.sets[index]
         way = cache_set.lookup(tag)
         if way is None:
@@ -227,7 +284,7 @@ class SetAssociativeCache:
         by the two-part architecture when a block moves between arrays — the
         move is neither an eviction nor an invalidation architecturally.
         """
-        tag, index = self.mapper.split(address)
+        tag, index = self._split(address)
         cache_set = self.sets[index]
         way = cache_set.lookup(tag)
         if way is None:
@@ -239,7 +296,7 @@ class SetAssociativeCache:
 
     def block_at(self, address: int) -> Optional[CacheBlock]:
         """The block holding ``address``, or None (analysis helper)."""
-        tag, index = self.mapper.split(address)
+        tag, index = self._split(address)
         way = self.sets[index].lookup(tag)
         if way is None:
             return None

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.cache.address import bank_index
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, GeometryError
+from repro.units import log2_int
 
 
 @dataclass
@@ -51,12 +52,19 @@ class BankedCache:
             raise ConfigurationError("bank count must be positive")
         self.num_banks = num_banks
         self.line_size = line_size
+        # validate the geometry once (power-of-two checks) so the per-request
+        # bank hash is a bare shift-and-mask
+        bank_index(0, line_size, num_banks)
+        self._line_shift = log2_int(line_size)
+        self._bank_mask = num_banks - 1
         self._busy_until: List[float] = [0.0] * num_banks
         self.stats = BankStats()
 
     def bank_for(self, address: int) -> int:
         """Bank serving ``address`` (line-interleaved)."""
-        return bank_index(address, self.line_size, self.num_banks)
+        if address < 0:
+            raise GeometryError(f"address must be non-negative, got {address}")
+        return (address >> self._line_shift) & self._bank_mask
 
     def schedule(self, address: int, now: float, service_time: float) -> float:
         """Admit a request; returns the queueing wait (s) it experienced.
@@ -65,14 +73,18 @@ class BankedCache:
         """
         if service_time < 0:
             raise ConfigurationError("service time must be non-negative")
-        bank = self.bank_for(address)
-        start = max(now, self._busy_until[bank])
+        if address < 0:
+            raise GeometryError(f"address must be non-negative, got {address}")
+        bank = (address >> self._line_shift) & self._bank_mask
+        busy = self._busy_until[bank]
+        start = busy if busy > now else now
         wait = start - now
         self._busy_until[bank] = start + service_time
-        self.stats.requests += 1
+        stats = self.stats
+        stats.requests += 1
         if wait > 0:
-            self.stats.conflicts += 1
-            self.stats.total_wait += wait
+            stats.conflicts += 1
+            stats.total_wait += wait
         return wait
 
     def busy_until(self, address: int) -> float:

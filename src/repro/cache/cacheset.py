@@ -38,13 +38,24 @@ class CacheSet:
         return len(self.blocks)
 
     def lookup(self, tag: int) -> Optional[int]:
-        """Return the way holding ``tag``, or None on miss (no side effects)."""
-        way = self._tag_to_way.get(tag)
-        if way is None:
-            return None
-        block = self.blocks[way]
-        if block.valid and block.tag == tag:
-            return way
+        """Return the way holding ``tag``, or None on miss (no side effects).
+
+        Backed by the tag->way dict, which :meth:`install` and
+        :meth:`invalidate_way` keep coherent — blocks are never retagged or
+        invalidated behind the set's back (``test_perf_equivalence`` checks
+        this against :meth:`lookup_linear`).
+        """
+        return self._tag_to_way.get(tag)
+
+    def lookup_linear(self, tag: int) -> Optional[int]:
+        """Reference linear way scan, bypassing the tag->way dict.
+
+        Kept only as the oracle for the dict-vs-scan equivalence test; the
+        hot path uses :meth:`lookup`.
+        """
+        for way, block in enumerate(self.blocks):
+            if block.valid and block.tag == tag:
+                return way
         return None
 
     def touch(self, way: int) -> None:
@@ -52,8 +63,15 @@ class CacheSet:
         self.policy.on_hit(way)
 
     def victim_way(self) -> int:
-        """Pick the way to evict (invalid ways first)."""
-        return self.policy.victim(lambda w: self.blocks[w].valid)
+        """Pick the way to evict (invalid ways first).
+
+        Scans the ways directly (same first-invalid-way order the policy's
+        validity scan used) instead of paying a lambda call per way.
+        """
+        for way, block in enumerate(self.blocks):
+            if not block.valid:
+                return way
+        return self.policy.full_victim()
 
     def install(self, way: int, tag: int, now: float, dirty: bool = False) -> None:
         """Fill ``way`` with a new line, updating the tag map and policy."""

@@ -30,9 +30,11 @@ class ReplacementPolicy:
         self.associativity = associativity
 
     def on_hit(self, way: int) -> None:
+        """Record a demand hit on ``way``."""
         raise NotImplementedError
 
     def on_fill(self, way: int) -> None:
+        """Record that ``way`` was (re)installed."""
         raise NotImplementedError
 
     def victim(self, valid: ValidFn) -> int:
@@ -40,6 +42,14 @@ class ReplacementPolicy:
         for way in range(self.associativity):
             if not valid(way):
                 return way
+        return self._pick_valid_victim()
+
+    def full_victim(self) -> int:
+        """Victim when the caller knows every way is valid.
+
+        Skips the validity scan of :meth:`victim`; callers that already
+        scanned their ways (the hot fill path) use this directly.
+        """
         return self._pick_valid_victim()
 
     def _pick_valid_victim(self) -> int:
@@ -64,10 +74,12 @@ class LRUPolicy(ReplacementPolicy):
         self._order.append(way)
 
     def on_hit(self, way: int) -> None:
+        """Move ``way`` to the MRU end of the recency list."""
         self._check_way(way)
         self._touch(way)
 
     def on_fill(self, way: int) -> None:
+        """Treat a fill like a touch: the new line becomes MRU."""
         self._check_way(way)
         self._touch(way)
 
@@ -109,10 +121,12 @@ class TreePLRUPolicy(ReplacementPolicy):
         return None
 
     def on_hit(self, way: int) -> None:
+        """Flip the tree bits along ``way``'s path to point away from it."""
         self._check_way(way)
         self._update(way)
 
     def on_fill(self, way: int) -> None:
+        """Same as a hit: the filled way becomes the protected half."""
         self._check_way(way)
         self._update(way)
 
@@ -138,9 +152,11 @@ class FIFOPolicy(ReplacementPolicy):
         self._queue: List[int] = list(range(associativity))
 
     def on_hit(self, way: int) -> None:
-        self._check_way(way)  # hits do not reorder a FIFO
+        """No-op beyond validation: hits do not reorder a FIFO."""
+        self._check_way(way)
 
     def on_fill(self, way: int) -> None:
+        """Send the filled way to the back of the eviction queue."""
         self._check_way(way)
         if way in self._queue:
             self._queue.remove(way)
@@ -158,9 +174,11 @@ class RandomPolicy(ReplacementPolicy):
         self._rng = random.Random(seed)
 
     def on_hit(self, way: int) -> None:
+        """No-op: random replacement keeps no recency state."""
         self._check_way(way)
 
     def on_fill(self, way: int) -> None:
+        """No-op: random replacement keeps no recency state."""
         self._check_way(way)
 
     def _pick_valid_victim(self) -> int:
@@ -181,10 +199,12 @@ class NRUPolicy(ReplacementPolicy):
             self._referenced[way] = True
 
     def on_hit(self, way: int) -> None:
+        """Set ``way``'s reference bit (resetting the epoch if all are set)."""
         self._check_way(way)
         self._mark(way)
 
     def on_fill(self, way: int) -> None:
+        """Mark the filled way referenced, like a hit."""
         self._check_way(way)
         self._mark(way)
 

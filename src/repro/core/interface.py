@@ -8,15 +8,18 @@ the cache.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.cache.stats import CacheStats
 
 
-@dataclass
 class L2AccessResult:
     """Outcome of one L2 access.
+
+    A plain ``__slots__`` class rather than a dataclass: one is allocated
+    per L2 request on the replay hot path, and slots cut both the per-object
+    footprint and the attribute-access cost.
 
     Attributes
     ----------
@@ -41,14 +44,50 @@ class L2AccessResult:
         True when the access triggered an HR->LR migration.
     """
 
-    hit: bool
-    part: str
-    latency_s: float
-    energy_j: float
-    dram_fetch: bool = False
-    dram_writebacks: int = 0
-    probes: int = 1
-    migrated: bool = False
+    __slots__ = (
+        "hit", "part", "latency_s", "energy_j",
+        "dram_fetch", "dram_writebacks", "probes", "migrated",
+    )
+
+    def __init__(
+        self,
+        hit: bool,
+        part: str,
+        latency_s: float,
+        energy_j: float,
+        dram_fetch: bool = False,
+        dram_writebacks: int = 0,
+        probes: int = 1,
+        migrated: bool = False,
+    ) -> None:
+        self.hit = hit
+        self.part = part
+        self.latency_s = latency_s
+        self.energy_j = energy_j
+        self.dram_fetch = dram_fetch
+        self.dram_writebacks = dram_writebacks
+        self.probes = probes
+        self.migrated = migrated
+
+    def _astuple(self) -> tuple:
+        return (
+            self.hit, self.part, self.latency_s, self.energy_j,
+            self.dram_fetch, self.dram_writebacks, self.probes, self.migrated,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, L2AccessResult):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"L2AccessResult(hit={self.hit}, part={self.part!r}, "
+            f"latency_s={self.latency_s}, energy_j={self.energy_j}, "
+            f"dram_fetch={self.dram_fetch}, "
+            f"dram_writebacks={self.dram_writebacks}, "
+            f"probes={self.probes}, migrated={self.migrated})"
+        )
 
 
 @dataclass

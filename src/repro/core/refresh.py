@@ -123,33 +123,61 @@ class RefreshEngine:
         return actions
 
     def _sweep_lr(self, now: float, actions: RefreshActions) -> None:
+        # A sweep walks every frame of the array, so the age thresholds and
+        # the per-block age math are hoisted/inlined (spec.refresh_age_s is
+        # a computed property).  ``expired`` is ``age >= retention`` and
+        # ``needs_refresh`` is ``refresh_age <= age < retention``, so the
+        # elif chain below decides identically to the spec predicates.
         self.stats.scans += 1
         spec = self.lr_spec
         assert spec is not None  # caller guards
-        for index, _, block in self.lr_array.iter_blocks():
-            if not block.valid:
-                continue
-            age = cell_age(block, now)
-            if spec.expired(age):
-                actions.lr_lost.append(self.lr_array.mapper.rebuild(block.tag, index))
-                self.stats.lr_expiries += 1
-            elif spec.needs_refresh(age):
-                actions.lr_refresh.append(
-                    self.lr_array.mapper.rebuild(block.tag, index)
-                )
-                self.stats.lr_refreshes += 1
+        retention = spec.retention_s
+        refresh_age = spec.refresh_age_s
+        rebuild = self.lr_array.mapper.rebuild
+        lost = actions.lr_lost
+        refresh = actions.lr_refresh
+        expiries = refreshes = 0
+        for index, cache_set in enumerate(self.lr_array.sets):
+            for block in cache_set.blocks:
+                if not block.valid:
+                    continue
+                last = block.insert_time
+                if block.last_write_time > last:
+                    last = block.last_write_time
+                age = now - last
+                if age >= retention:
+                    lost.append(rebuild(block.tag, index))
+                    expiries += 1
+                elif age >= refresh_age:
+                    refresh.append(rebuild(block.tag, index))
+                    refreshes += 1
+        self.stats.lr_expiries += expiries
+        self.stats.lr_refreshes += refreshes
 
     def _sweep_hr(self, now: float, actions: RefreshActions) -> None:
+        # ``needs_refresh(age) or expired(age)`` covers exactly
+        # ``age >= refresh_age`` (the two windows tile [refresh_age, inf)),
+        # so one hoisted comparison decides the drop.
         spec = self.hr_spec
-        for index, _, block in self.hr_array.iter_blocks():
-            if not block.valid:
-                continue
-            age = cell_age(block, now)
-            if spec.needs_refresh(age) or spec.expired(age):
-                address = self.hr_array.mapper.rebuild(block.tag, index)
-                if block.dirty:
-                    actions.hr_drop_dirty.append(address)
-                    self.stats.hr_expirations_dirty += 1
-                else:
-                    actions.hr_drop_clean.append(address)
-                    self.stats.hr_expirations_clean += 1
+        refresh_age = spec.refresh_age_s
+        rebuild = self.hr_array.mapper.rebuild
+        drop_dirty = actions.hr_drop_dirty
+        drop_clean = actions.hr_drop_clean
+        dirty_drops = clean_drops = 0
+        for index, cache_set in enumerate(self.hr_array.sets):
+            for block in cache_set.blocks:
+                if not block.valid:
+                    continue
+                last = block.insert_time
+                if block.last_write_time > last:
+                    last = block.last_write_time
+                if now - last >= refresh_age:
+                    address = rebuild(block.tag, index)
+                    if block.dirty:
+                        drop_dirty.append(address)
+                        dirty_drops += 1
+                    else:
+                        drop_clean.append(address)
+                        clean_drops += 1
+        self.stats.hr_expirations_dirty += dirty_drops
+        self.stats.hr_expirations_clean += clean_drops

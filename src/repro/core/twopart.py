@@ -147,6 +147,27 @@ class TwoPartSTTL2(L2Interface):
                 ),
             }
 
+        # Hot-path scalars: the physical figures are fixed at construction,
+        # so resolve the per-access probe-energy sums and the tag latency
+        # once (the additions keep _probe_energy's first+second order, so
+        # the floats are bit-identical to per-access recomputation).
+        self._hr_tag_access_latency = self.hr_model.tag_array.access_latency
+        # bound methods / part internals resolved once for the access path
+        self._line_address = self.hr_array.mapper.line_address
+        self._lr_split = self.lr_array.mapper.split
+        self._hr_split = self.hr_array.mapper.split
+        self._lr_sets = self.lr_array.sets
+        self._hr_sets = self.hr_array.sets
+        models = {"lr": self.lr_model, "hr": self.hr_model}
+        self._probe_energy_table: Dict[bool, Dict[int, float]] = {}
+        for write_access in (False, True):
+            order = self.selector.probe_order(write_access)
+            first = models[order[0]].tag_probe_energy
+            self._probe_energy_table[write_access] = {
+                1: first,
+                2: first + models[order[1]].tag_probe_energy,
+            }
+
         self._energy = EnergyLedger()
         #: data-array write operations per part (Fig. 4 inputs)
         self.lr_data_writes = 0
@@ -164,9 +185,20 @@ class TwoPartSTTL2(L2Interface):
     # location / expiry
     # ------------------------------------------------------------------
 
-    def _locate(self, line: int, now: float) -> Optional[str]:
-        """Which part holds the line, invalidating expired residents."""
-        block = self.lr_array.block_at(line)
+    def _locate(self, line: int, now: float) -> tuple:
+        """Find the part (and block) holding a line, expiring stale residents.
+
+        Returns ``(part, block)`` — ``("lr", block)``, ``("hr", block)`` or
+        ``(None, None)`` — so the serve paths reuse the located block rather
+        than re-probing the array.  The split/lookup chain is inlined (the
+        two probes run on every single L2 access).
+        """
+        block = None
+        tag, index = self._lr_split(line)
+        cache_set = self._lr_sets[index]
+        way = cache_set.lookup(tag)
+        if way is not None:
+            block = cache_set.blocks[way]
         if block is not None:
             if (
                 self.lr_spec is not None
@@ -178,8 +210,13 @@ class TwoPartSTTL2(L2Interface):
                 self.lr_array.invalidate(line)
                 self.tracer.count("l2.expiry.access_path_invalidations")
             else:
-                return "lr"
-        block = self.hr_array.block_at(line)
+                return "lr", block
+        block = None
+        tag, index = self._hr_split(line)
+        cache_set = self._hr_sets[index]
+        way = cache_set.lookup(tag)
+        if way is not None:
+            block = cache_set.blocks[way]
         if block is not None:
             if cell_age(block, now) >= self.hr_spec.retention_s:
                 if block.dirty:
@@ -188,8 +225,8 @@ class TwoPartSTTL2(L2Interface):
                 self.hr_array.invalidate(line)
                 self.tracer.count("l2.expiry.access_path_invalidations")
             else:
-                return "hr"
-        return None
+                return "hr", block
+        return None, None
 
     # ------------------------------------------------------------------
     # maintenance: buffer drains + retention sweeps
@@ -197,8 +234,12 @@ class TwoPartSTTL2(L2Interface):
 
     def maintenance(self, now: float) -> int:
         """Drain buffers and run due retention sweeps; returns DRAM write-backs."""
-        self.hr_to_lr.drain_ready(now)
-        self.lr_to_hr.drain_ready(now)
+        # draining an empty buffer is a no-op; skip the call on the hot path
+        # (the deque is read directly — __len__ would cost a call per access)
+        if self.hr_to_lr._entries:
+            self.hr_to_lr.drain_ready(now)
+        if self.lr_to_hr._entries:
+            self.lr_to_hr.drain_ready(now)
         writebacks = 0
         if not self.refresh_engine.due(now):
             return 0
@@ -237,19 +278,19 @@ class TwoPartSTTL2(L2Interface):
     # ------------------------------------------------------------------
 
     def access(self, address: int, is_write: bool, now: float) -> L2AccessResult:
-        line = self.hr_array.mapper.line_address(address)
+        line = self._line_address(address)
         writebacks = self.maintenance(now)
-        part = self._locate(line, now)
+        part, block = self._locate(line, now)
         probes = self.selector.record(is_write, part or "miss")
         energy = self._probe_energy(is_write, probes)
         tag_latency = self.selector.latency_factor(probes) * (
-            self.hr_model.tag_array.access_latency
+            self._hr_tag_access_latency
         )
 
         if part == "lr":
-            result = self._serve_lr(line, is_write, now, energy, tag_latency)
+            result = self._serve_lr(line, is_write, now, energy, tag_latency, block)
         elif part == "hr":
-            result = self._serve_hr(line, is_write, now, energy, tag_latency)
+            result = self._serve_hr(line, is_write, now, energy, tag_latency, block)
         else:
             result = self._serve_miss(line, is_write, now, energy, tag_latency)
         result.dram_writebacks += writebacks
@@ -259,20 +300,16 @@ class TwoPartSTTL2(L2Interface):
         return result
 
     def _probe_energy(self, is_write: bool, probes: int) -> float:
-        order = self.selector.probe_order(is_write)
-        models: Dict[str, CacheEnergyModel] = {
-            "lr": self.lr_model, "hr": self.hr_model,
-        }
-        energy = models[order[0]].tag_probe_energy
-        if probes >= 2:
-            energy += models[order[1]].tag_probe_energy
-        return energy
+        """Tag-probe energy for this access (precomputed per probe count)."""
+        return self._probe_energy_table[is_write][1 if probes < 2 else 2]
 
     def _serve_lr(
-        self, line: int, is_write: bool, now: float, energy: float, tag_latency: float
+        self, line: int, is_write: bool, now: float, energy: float,
+        tag_latency: float, block=None,
     ) -> L2AccessResult:
         if is_write and self.track_intervals:
-            block = self.lr_array.block_at(line)
+            if block is None:
+                block = self.lr_array.block_at(line)
             if block is not None and block.last_write_time > 0:
                 self.rewrite_intervals.append(now - block.last_write_time)
         self.lr_array.access(line, is_write, now)
@@ -287,7 +324,8 @@ class TwoPartSTTL2(L2Interface):
         return L2AccessResult(hit=True, part="lr", latency_s=latency, energy_j=energy)
 
     def _serve_hr(
-        self, line: int, is_write: bool, now: float, energy: float, tag_latency: float
+        self, line: int, is_write: bool, now: float, energy: float,
+        tag_latency: float, block=None,
     ) -> L2AccessResult:
         if not is_write:
             self.hr_array.access(line, is_write, now)
@@ -298,7 +336,8 @@ class TwoPartSTTL2(L2Interface):
                 latency_s=tag_latency + self.hr_model.data_array.read_latency,
                 energy_j=energy,
             )
-        block = self.hr_array.block_at(line)
+        if block is None:
+            block = self.hr_array.block_at(line)
         assert block is not None
         if self.monitor.should_migrate(block):
             return self._migrate_and_write(line, now, energy, tag_latency)

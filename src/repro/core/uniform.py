@@ -68,6 +68,14 @@ class UniformL2(L2Interface):
         self._energy = EnergyLedger()
         #: data-array write operations (demand + fills), for Fig. 4-style stats
         self.data_writes = 0
+        # hot-path scalars: the physical figures never change after
+        # construction, so resolve the energy/latency roll-up once
+        self._write_hit_energy = self.model.write_hit_energy
+        self._read_hit_energy = self.model.read_hit_energy
+        self._write_latency = self.model.write_latency
+        self._read_latency = self.model.read_latency
+        self._tag_probe_energy = self.model.tag_probe_energy
+        self._fill_energy = self.model.fill_energy
 
     # --- L2Interface -------------------------------------------------------
 
@@ -76,12 +84,12 @@ class UniformL2(L2Interface):
         writebacks = 1 if outcome.evicted_dirty else 0
         if outcome.hit:
             if is_write:
-                energy = self.model.write_hit_energy
-                latency = self.model.write_latency
+                energy = self._write_hit_energy
+                latency = self._write_latency
                 self.data_writes += 1
             else:
-                energy = self.model.read_hit_energy
-                latency = self.model.read_latency
+                energy = self._read_hit_energy
+                latency = self._read_latency
             self._energy.demand_j += energy
             return L2AccessResult(
                 hit=True,
@@ -92,8 +100,8 @@ class UniformL2(L2Interface):
             )
         # miss: tag probe now; the fill happened in the behavioural array,
         # charge it to the fill bucket (write misses allocate dirty).
-        probe = self.model.tag_probe_energy
-        fill = self.model.fill_energy if outcome.filled else 0.0
+        probe = self._tag_probe_energy
+        fill = self._fill_energy if outcome.filled else 0.0
         if outcome.filled:
             self.data_writes += 1
         self._energy.demand_j += probe
@@ -101,7 +109,7 @@ class UniformL2(L2Interface):
         return L2AccessResult(
             hit=False,
             part="miss",
-            latency_s=self.model.read_latency,
+            latency_s=self._read_latency,
             energy_j=probe + fill,
             dram_fetch=True,
             dram_writebacks=writebacks,

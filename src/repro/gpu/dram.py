@@ -81,8 +81,17 @@ class DRAMModel:
         self.stats = DRAMStats()
         #: optional trace collector (``dram.*`` counters + latency histogram)
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # line-interleaving shift when the line size is a power of two
+        # (the usual case); channel counts are rarely powers of two (6 on
+        # the paper's GPU), so the modulo stays
+        self._line_shift = (
+            line_size.bit_length() - 1
+            if line_size & (line_size - 1) == 0 else None
+        )
 
     def _channel(self, address: int) -> int:
+        if self._line_shift is not None:
+            return (address >> self._line_shift) % self.num_channels
         return (address // self.line_size) % self.num_channels
 
     def access(self, address: int, is_write: bool, now: float) -> float:
@@ -109,7 +118,7 @@ class DRAMModel:
             self._open_row[channel] = row
         start = max(now, self._busy_until[channel])
         wait = min(start - now, self.max_wait_s)
-        self._busy_until[channel] = max(now, self._busy_until[channel]) + self.service_time_s
+        self._busy_until[channel] = start + self.service_time_s
         self.stats.total_wait_s += wait
         if self.tracer.enabled:
             self.tracer.count("dram.reads")
@@ -118,6 +127,21 @@ class DRAMModel:
             self.tracer.observe("dram.read_latency_s", wait + latency)
             self.tracer.observe("dram.queue_wait_s", wait)
         return wait + latency
+
+    def write_back(self, count: int = 1) -> None:
+        """Account ``count`` line write-backs in one call.
+
+        Write-backs drain from the low-priority write queue and never touch
+        the read-path channel state (see :meth:`access`), so a batch of them
+        is just a traffic-counter bump — callers retiring several
+        write-backs per L2 access (eviction + buffer overflow + expiry) use
+        this instead of ``count`` separate :meth:`access` calls.
+        """
+        if count <= 0:
+            return
+        self.stats.writes += count
+        if self.tracer.enabled:
+            self.tracer.count("dram.writes", count)
 
     def utilization(self, elapsed_s: float) -> float:
         """Aggregate channel busy fraction over the run."""

@@ -44,12 +44,19 @@ class ButterflyNoC:
             raise ConfigurationError("radix must be at least 2")
         if self.hop_cycles <= 0 or self.channel_bytes_per_cycle <= 0:
             raise ConfigurationError("hop latency and channel width must be positive")
+        # stage count is fixed by the topology; computing the log once keeps
+        # traversal/contention queries off the math module (frozen dataclass,
+        # hence object.__setattr__)
+        endpoints = max(self.num_sources, self.num_destinations)
+        object.__setattr__(
+            self, "_num_stages",
+            max(1, math.ceil(math.log(endpoints, self.radix))),
+        )
 
     @property
     def num_stages(self) -> int:
         """Switch stages: ``ceil(log_k(N))`` over the larger side."""
-        endpoints = max(self.num_sources, self.num_destinations)
-        return max(1, math.ceil(math.log(endpoints, self.radix)))
+        return self._num_stages
 
     def traversal_cycles(self, payload_bytes: int = 0) -> float:
         """One-way latency (cycles): pipeline + payload serialization."""

@@ -26,6 +26,7 @@ simulator enables deferral.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -106,6 +107,12 @@ class GPUL1Cache:
         self.mshr = MSHRFile(mshr_entries)
         #: line -> (ready_time, fill_dirty) for in-flight fetches
         self._pending: Dict[int, List] = {}
+        # Earliest ready_time of any in-flight fetch: lets _drain_fills skip
+        # the pending scan entirely when no fill can have landed yet.  May
+        # run stale-LOW (a cancelled fill leaves it behind), which only
+        # costs an extra scan; it is never stale-high, which would delay a
+        # landing.
+        self._min_ready: float = math.inf
 
     @property
     def hit_rate(self) -> float:
@@ -131,12 +138,21 @@ class GPUL1Cache:
 
     def _drain_fills(self, now: float) -> List[L2Request]:
         requests: List[L2Request] = []
-        if not self._pending:
+        if not self._pending or now < self._min_ready:
             return requests
-        landed = [
-            line for line, (ready, _) in self._pending.items()
-            if ready is not None and ready <= now
-        ]
+        # one pass: collect lines whose fetch landed, track the earliest
+        # still-outstanding ready time for the next skip check
+        landed: List[int] = []
+        min_ready = math.inf
+        for line, entry in self._pending.items():
+            ready = entry[0]
+            if ready is None:
+                continue
+            if ready <= now:
+                landed.append(line)
+            elif ready < min_ready:
+                min_ready = ready
+        self._min_ready = min_ready
         for line in landed:
             _, dirty = self._pending.pop(line)
             outcome = self.array.fill(line, now, dirty=dirty)
@@ -180,6 +196,8 @@ class GPUL1Cache:
         entry = self._pending.get(line_address)
         if entry is not None and entry[0] is None:
             entry[0] = ready_time
+            if ready_time < self._min_ready:
+                self._min_ready = ready_time
 
     def _access_global(self, address: int, is_write: bool, now: float) -> List[L2Request]:
         line = self.array.mapper.line_address(address)

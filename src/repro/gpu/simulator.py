@@ -161,63 +161,85 @@ class GPUSimulator:
         dram_writebacks = 0
         max_sm = config.num_sms
 
+        # Per-request locals: bound methods and loop-invariant products,
+        # hoisted out of the hot loop.  The products (L1-hit stall, NoC
+        # round trip) are single fixed multiplications, so the summed floats
+        # are bit-identical to per-iteration recomputation.
+        l2_access = self.l2.access
+        banks_schedule = self.banks.schedule
+        dram = self.dram
+        l1s = self.l1s
+        const_caches = self.const_caches
+        texture_caches = self.texture_caches
+        time_dilation = self.time_dilation
+        deferred_fills = self.deferred_l1_fills
+        l1_hit_s = L1_HIT_CYCLES * cycle_s
+        noc_rt_s = noc_rt_cycles * cycle_s
+        ro_mask = FLAG_CONST | FLAG_TEXTURE
+
         for sm, address, flag in zip(sms, addresses, flags):
             now += dt
             is_write = bool(flag & FLAG_WRITE)
-            is_local = bool(flag & FLAG_LOCAL)
             if sm >= max_sm:
                 raise SimulationError(
                     f"trace SM id {sm} exceeds configured {max_sm} SMs"
                 )
             if not is_write:
                 reads += 1
-                stall_sum_s += L1_HIT_CYCLES * cycle_s
-                read_latency_sum_s += L1_HIT_CYCLES * cycle_s
-            l1 = self.l1s[sm]
-            if flag & (FLAG_CONST | FLAG_TEXTURE):
+                stall_sum_s += l1_hit_s
+                read_latency_sum_s += l1_hit_s
+            l1 = l1s[sm]
+            if flag & ro_mask:
                 # constant/texture reads go through their dedicated
                 # read-only caches instead of the L1D (Fig. 1 hierarchy)
-                ro = (self.const_caches if flag & FLAG_CONST
-                      else self.texture_caches)[sm]
+                ro = (const_caches if flag & FLAG_CONST
+                      else texture_caches)[sm]
                 ro_request = ro.access(address, now)
                 requests = [] if ro_request is None else [ro_request]
             else:
-                requests = l1.access(address, is_write, is_local, now)
+                requests = l1.access(
+                    address, is_write, bool(flag & FLAG_LOCAL), now
+                )
             for request in requests:
                 # the L2's clock (retention counters, refresh) runs on the
                 # dilated timebase; queueing clocks stay on the real one
-                result = self.l2.access(
-                    request.address, request.is_write, now * self.time_dilation
+                result = l2_access(
+                    request.address, request.is_write, now * time_dilation
                 )
+                result_latency = result.latency_s
                 l2_requests += 1
-                l2_service_sum_s += result.latency_s
-                wait = self.banks.schedule(request.address, now, result.latency_s)
-                wait = min(wait, BANK_WAIT_CAP_FACTOR * max(result.latency_s, cycle_s))
-                latency = wait + result.latency_s
+                l2_service_sum_s += result_latency
+                wait = banks_schedule(request.address, now, result_latency)
+                wait_cap = BANK_WAIT_CAP_FACTOR * (
+                    result_latency if result_latency >= cycle_s else cycle_s
+                )
+                if wait > wait_cap:
+                    wait = wait_cap
+                latency = wait + result_latency
                 if result.dram_fetch:
-                    latency += self.dram.access(request.address, False, now + latency)
-                for _ in range(result.dram_writebacks):
+                    latency += dram.access(request.address, False, now + latency)
+                if result.dram_writebacks:
                     # write-backs leave the critical path; count the traffic
-                    self.dram.access(request.address, True, now)
-                    dram_writebacks += 1
+                    dram.write_back(result.dram_writebacks)
+                    dram_writebacks += result.dram_writebacks
                 if trace_on:
                     tracer.count("sim.l2_requests")
                     tracer.count(f"sim.l1_requests.{request.kind}")
-                    tracer.observe("l2.service_latency_s", result.latency_s)
+                    tracer.observe("l2.service_latency_s", result_latency)
                     tracer.observe("l2.bank_wait_s", wait)
                     if result.dram_writebacks:
                         tracer.count("dram.writebacks", result.dram_writebacks)
                 if request.kind == "fetch":
-                    total_latency = latency + noc_rt_cycles * cycle_s
+                    total_latency = latency + noc_rt_s
                     stall_sum_s += total_latency
                     read_latency_sum_s += total_latency
-                    if self.deferred_l1_fills:
+                    if deferred_fills:
                         l1.complete_fetch(request.address, now + total_latency)
                 elif request.kind == "write":
                     # a store retires once its L2 bank accepts it; queueing
                     # behind slow writes backpressures the SM (finite store
                     # buffering) — the STT-baseline's Achilles heel
-                    stall_sum_s += wait + result.latency_s
+                    stall_sum_s += wait + result_latency
 
         self.end_time_s = now
         return self._roll_up(

@@ -1,9 +1,10 @@
-"""Docstring enforcement for the experiment and telemetry layers.
+"""Docstring enforcement for the experiment, telemetry and hot-path layers.
 
 A lightweight pydocstyle-style gate: every module, public class and public
-function in ``repro.experiments.*``, ``repro.telemetry``, ``repro.io`` and
-``repro.tracing.*`` must carry a docstring, and the experiment modules'
-docstrings must state their job-decomposition contract.
+function in ``repro.experiments.*``, ``repro.telemetry``, ``repro.io``,
+``repro.tracing.*``, ``repro.benchmarks`` and the replay hot path
+(``repro.cache.*``, ``repro.gpu.*``) must carry a docstring, and the
+experiment modules' docstrings must state their job-decomposition contract.
 """
 
 import importlib
@@ -12,13 +13,22 @@ import pkgutil
 
 import pytest
 
+import repro.cache
 import repro.experiments
+import repro.gpu
 
 CHECKED_MODULES = sorted(
     f"repro.experiments.{m.name}"
     for m in pkgutil.iter_modules(repro.experiments.__path__)
+) + sorted(
+    f"repro.cache.{m.name}"
+    for m in pkgutil.iter_modules(repro.cache.__path__)
+) + sorted(
+    f"repro.gpu.{m.name}"
+    for m in pkgutil.iter_modules(repro.gpu.__path__)
 ) + [
-    "repro.experiments", "repro.telemetry", "repro.io",
+    "repro.experiments", "repro.cache", "repro.gpu",
+    "repro.telemetry", "repro.io", "repro.benchmarks",
     "repro.tracing", "repro.tracing.collector", "repro.tracing.schema",
 ]
 
