@@ -9,7 +9,7 @@ LR retention.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.errors import AnalysisError
 from repro.units import MS, US

@@ -16,7 +16,6 @@ buy (the ratio max-rate / mean-rate).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 

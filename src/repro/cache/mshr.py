@@ -8,7 +8,7 @@ extra exposed latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.errors import ConfigurationError, SimulationError

@@ -6,7 +6,7 @@ modules read these rather than re-deriving counts from traces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 

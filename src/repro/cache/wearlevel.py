@@ -17,7 +17,7 @@ characterization experiments use.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.cache.array import AccessOutcome, SetAssociativeCache
 from repro.cache.stats import CacheStats

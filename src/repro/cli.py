@@ -11,6 +11,10 @@ Subcommands
     Print Table 2 (the five simulated systems).
 ``suite``
     List the benchmark suite with per-benchmark characteristics.
+``inject``
+    Run a named fault-injection campaign against the two-part L2 with the
+    invariant checker attached; exits non-zero iff undetected data loss
+    (or any other invariant violation) was found.  See ``docs/faults.md``.
 """
 
 from __future__ import annotations
@@ -160,6 +164,46 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_inject(args: argparse.Namespace) -> int:
+    from repro.errors import FaultInjectionError
+    from repro.faults import run_campaign, write_report
+
+    try:
+        report = run_campaign(
+            args.campaign,
+            seed=args.seed,
+            trace_length=args.trace_length,
+            check_interval=args.check_interval,
+        )
+    except FaultInjectionError as exc:
+        print(f"repro-sttgpu inject: {exc}", file=sys.stderr)
+        return 2
+    summary = report["summary"]
+    print(f"campaign       : {report['campaign']} ({report['description']})")
+    print(f"workload/config: {report['workload']} on {report['config']} "
+          f"({report['trace_length']} records, seed {report['seed']})")
+    print(f"faults injected: {summary['faults_injected']}")
+    print(f"  detected     : {summary['faults_detected']}")
+    print(f"  recovered    : {summary['faults_recovered']}")
+    print(f"  vacated      : {summary['faults_vacated']}")
+    print(f"  pending      : {summary['faults_pending']}")
+    print(f"data losses    : {summary['data_losses_detected']} detected, "
+          f"{summary['undetected_data_loss']} undetected")
+    invariants = report["invariants"]
+    print(f"invariants     : {invariants['checks']} checks, "
+          f"{invariants['total_violations']} violations")
+    for violation in invariants["violations"][:5]:
+        print(f"  [{violation['invariant']}] {violation['detail']}")
+    if args.out:
+        write_report(report, args.out)
+        print(f"report         : {args.out}")
+    if report["ok"]:
+        print("verdict        : OK (all faults detected or recovered)")
+        return 0
+    print("verdict        : FAIL (undetected data loss or invariant violation)")
+    return 1
+
+
 def _cmd_configs(_args: argparse.Namespace) -> int:
     from repro.config import render_table2
 
@@ -222,6 +266,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --trace: also write a telemetry manifest "
                             "embedding the trace summary")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    from repro.faults.campaign import CAMPAIGNS
+    from repro.faults.invariants import DEFAULT_CHECK_INTERVAL
+
+    p_inj = sub.add_parser(
+        "inject", help="run a fault-injection campaign with invariant checks"
+    )
+    p_inj.add_argument("campaign", choices=sorted(CAMPAIGNS),
+                       help="campaign to run (see docs/faults.md)")
+    p_inj.add_argument("--seed", type=int, default=0,
+                       help="fault/workload seed; same seed => identical report")
+    p_inj.add_argument("--trace-length", type=int, default=None,
+                       help="override the campaign's pinned trace length")
+    p_inj.add_argument("--check-interval", type=int,
+                       default=DEFAULT_CHECK_INTERVAL, metavar="N",
+                       help="trace records per invariant-check batch "
+                            f"(default {DEFAULT_CHECK_INTERVAL})")
+    p_inj.add_argument("--out", metavar="FILE", default=None,
+                       help="write the JSON campaign report to FILE")
+    p_inj.set_defaults(func=_cmd_inject)
 
     p_cfg = sub.add_parser("configs", help="print Table 2")
     p_cfg.set_defaults(func=_cmd_configs)

@@ -23,14 +23,14 @@ deterministic, documented here, and tested.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.areapower.cache_model import CacheEnergyModel
 from repro.areapower.technology import TECH_40NM, TechnologyNode
 from repro.errors import ConfigurationError
 from repro.sttram.retention import RetentionLevel, retention_catalogue
-from repro.units import GHZ, KB, MHZ, format_capacity
+from repro.units import KB, MHZ, format_capacity
 
 #: Baseline register file: 32768 x 32-bit registers per SM (GTX480).
 BASELINE_REGISTERS_PER_SM = 32768

@@ -121,9 +121,18 @@ class L2Interface:
     Subclasses must implement :meth:`access` and :meth:`fill_from_dram` and
     expose ``stats`` (merged :class:`CacheStats`), ``energy``
     (:class:`EnergyLedger`), ``leakage_power`` (W) and ``area`` (m^2).
+
+    ``faults`` is the optional fault-injection attachment point
+    (:class:`repro.faults.FaultInjector`): implementations that support
+    injection accept it at construction and consult it on their cell-write
+    / eviction / hit paths; ``None`` (the default) must leave behaviour
+    byte-identical.  Observers such as
+    :class:`repro.faults.InvariantChecker` read it via this attribute.
     """
 
     name: str = "l2"
+    #: optional attached fault injector; None disables every hook
+    faults = None
 
     def access(self, address: int, is_write: bool, now: float) -> L2AccessResult:
         """Serve a demand access at simulated time ``now`` (seconds)."""

@@ -16,6 +16,7 @@ and is performed in LR.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from repro.cache.block import CacheBlock
 from repro.errors import ConfigurationError
@@ -34,6 +35,14 @@ class MonitorStats:
         if not self.writes_observed:
             return 0.0
         return self.migrations_triggered / self.writes_observed
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-safe rendering (campaign reports, counter reconciliation)."""
+        return {
+            "writes_observed": self.writes_observed,
+            "migrations_triggered": self.migrations_triggered,
+            "migration_rate": self.migration_rate,
+        }
 
 
 class WWSMonitor:

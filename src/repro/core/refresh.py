@@ -15,12 +15,15 @@ whenever its cells were last written — fill, demand write, or refresh.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.cache.array import SetAssociativeCache
 from repro.cache.block import CacheBlock
 from repro.core.retention_counter import RetentionCounterSpec
 from repro.tracing import NULL_TRACER, TraceCollector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults imports core)
+    from repro.faults.injector import FaultInjector
 
 
 def cell_age(block: CacheBlock, now: float) -> float:
@@ -70,6 +73,7 @@ class RefreshEngine:
         lr_spec: Optional[RetentionCounterSpec],
         hr_spec: RetentionCounterSpec,
         tracer: Optional[TraceCollector] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         """``lr_spec=None`` disables LR sweeps (an SRAM LR part never
         expires — the hybrid organization of the paper's ref [16]).
@@ -77,12 +81,17 @@ class RefreshEngine:
         ``tracer`` (optional :class:`~repro.tracing.TraceCollector`)
         records one sampled ``l2.refresh.sweep`` event per non-trivial
         sweep plus the ``l2.refresh.*`` decision counters.
+
+        ``faults`` (optional :class:`~repro.faults.FaultInjector`) lets a
+        starvation campaign stretch the rescheduling tick so sweeps run
+        late and expiry races surface.
         """
         self.lr_array = lr_array
         self.hr_array = hr_array
         self.lr_spec = lr_spec
         self.hr_spec = hr_spec
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.faults = faults
         self._next_lr_scan = lr_spec.tick_s if lr_spec is not None else float("inf")
         self._next_hr_scan = hr_spec.tick_s
         self.stats = RefreshStats()
@@ -94,12 +103,19 @@ class RefreshEngine:
     def sweep(self, now: float) -> RefreshActions:
         """Run all due sweeps; returns the decisions for the owner to apply."""
         actions = RefreshActions()
+        faults = self.faults
         if self.lr_spec is not None and now >= self._next_lr_scan:
             self._sweep_lr(now, actions)
-            self._next_lr_scan = now + self.lr_spec.tick_s
+            tick = self.lr_spec.tick_s
+            if faults is not None:
+                tick = faults.stretch_tick(tick)
+            self._next_lr_scan = now + tick
         if now >= self._next_hr_scan:
             self._sweep_hr(now, actions)
-            self._next_hr_scan = now + self.hr_spec.tick_s
+            tick = self.hr_spec.tick_s
+            if faults is not None:
+                tick = faults.stretch_tick(tick)
+            self._next_hr_scan = now + tick
         if self.tracer.enabled:
             self.tracer.count("l2.refresh.lr_refreshes", len(actions.lr_refresh))
             self.tracer.count("l2.refresh.lr_expiries", len(actions.lr_lost))

@@ -23,7 +23,7 @@ buffers model drain-port timing and overflow-to-DRAM behaviour.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.areapower.cache_model import CacheEnergyModel
 from repro.areapower.technology import TECH_40NM, TechnologyNode
@@ -39,6 +39,9 @@ from repro.errors import ConfigurationError
 from repro.sttram.ewt import EWTModel
 from repro.sttram.retention import retention_catalogue
 from repro.tracing import NULL_TRACER, TraceCollector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults imports core)
+    from repro.faults.injector import FaultInjector
 
 #: Retention-counter widths from the paper: 4-bit LR, 2-bit HR.
 LR_COUNTER_BITS = 4
@@ -66,6 +69,7 @@ class TwoPartSTTL2(L2Interface):
         lr_technology: str = "stt",
         name: str = "twopart",
         tracer: Optional[TraceCollector] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         if not 0 < lr_retention_s < hr_retention_s:
             raise ConfigurationError("need 0 < LR retention < HR retention")
@@ -84,6 +88,9 @@ class TwoPartSTTL2(L2Interface):
         ewt = EWTModel() if early_write_termination else None
         #: trace collector every subcomponent reports into (no-op when off)
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: optional fault injector (repro.faults); None keeps the happy
+        #: path byte-identical — every hook site is guarded on it
+        self.faults = faults
         self.monitor = WWSMonitor(threshold=write_threshold)
         self.selector = SearchSelector(
             sequential=sequential_search, tracer=self.tracer
@@ -123,7 +130,7 @@ class TwoPartSTTL2(L2Interface):
         self.hr_spec = RetentionCounterSpec(HR_COUNTER_BITS, hr_retention_s)
         self.refresh_engine = RefreshEngine(
             self.lr_array, self.hr_array, self.lr_spec, self.hr_spec,
-            tracer=self.tracer,
+            tracer=self.tracer, faults=faults,
         )
         self.hr_to_lr = MigrationBuffer(
             buffer_lines, self.lr_model.data_array.write_latency, name="hr->lr",
@@ -192,7 +199,15 @@ class TwoPartSTTL2(L2Interface):
         ``(None, None)`` — so the serve paths reuse the located block rather
         than re-probing the array.  The split/lookup chain is inlined (the
         two probes run on every single L2 access).
+
+        With a fault injector attached, the demand probe doubles as the
+        detection read: a block whose sampled lifetime already elapsed is
+        treated like a deterministic expiry (dirty data is lost but
+        *accounted*), while a hit served without consulting the injector
+        would be an undetected corruption — the injector's
+        ``on_hit_served`` audit records exactly that case.
         """
+        faults = self.faults
         block = None
         tag, index = self._lr_split(line)
         cache_set = self._lr_sets[index]
@@ -200,16 +215,24 @@ class TwoPartSTTL2(L2Interface):
         if way is not None:
             block = cache_set.blocks[way]
         if block is not None:
-            if (
+            expired = (
                 self.lr_spec is not None
                 and cell_age(block, now) >= self.lr_spec.retention_s
-            ):
-                if block.dirty:
+            )
+            if not expired and faults is not None:
+                expired = faults.collapsed("lr", line, now)
+            if expired:
+                dirty = block.dirty
+                if dirty:
                     self.data_losses += 1
                     self.tracer.count("l2.data_losses")
+                if faults is not None:
+                    faults.on_invalidated("lr", line, dirty, now)
                 self.lr_array.invalidate(line)
                 self.tracer.count("l2.expiry.access_path_invalidations")
             else:
+                if faults is not None:
+                    faults.on_hit_served("lr", line, now)
                 return "lr", block
         block = None
         tag, index = self._hr_split(line)
@@ -218,13 +241,21 @@ class TwoPartSTTL2(L2Interface):
         if way is not None:
             block = cache_set.blocks[way]
         if block is not None:
-            if cell_age(block, now) >= self.hr_spec.retention_s:
-                if block.dirty:
+            expired = cell_age(block, now) >= self.hr_spec.retention_s
+            if not expired and faults is not None:
+                expired = faults.collapsed("hr", line, now)
+            if expired:
+                dirty = block.dirty
+                if dirty:
                     self.data_losses += 1
                     self.tracer.count("l2.data_losses")
+                if faults is not None:
+                    faults.on_invalidated("hr", line, dirty, now)
                 self.hr_array.invalidate(line)
                 self.tracer.count("l2.expiry.access_path_invalidations")
             else:
+                if faults is not None:
+                    faults.on_hit_served("hr", line, now)
                 return "hr", block
         return None, None
 
@@ -243,10 +274,22 @@ class TwoPartSTTL2(L2Interface):
         writebacks = 0
         if not self.refresh_engine.due(now):
             return 0
+        faults = self.faults
         actions = self.refresh_engine.sweep(now)
         for address in actions.lr_refresh:
             block = self.lr_array.block_at(address)
             if block is None:
+                continue
+            if faults is not None and faults.collapsed("lr", address, now):
+                # the refresh read arrives after the cells collapsed; the
+                # line cannot be rewritten — drop it, dirty data is lost
+                dirty = block.dirty
+                if dirty:
+                    self.data_losses += 1
+                    self.tracer.count("l2.data_losses")
+                faults.on_invalidated("lr", address, dirty, now)
+                self.lr_array.invalidate(address)
+                self.tracer.count("l2.expiry.refresh_path_invalidations")
                 continue
             # buffer-assisted refresh: read out, write back, clock restarts
             block.insert_time = now
@@ -255,17 +298,33 @@ class TwoPartSTTL2(L2Interface):
             )
             self.refresh_writes += 1
             self.tracer.count("l2.refresh_writes")
+            if faults is not None:
+                # the refresh rewrite re-samples the cells' lifetimes and
+                # is itself subject to MTJ write errors (retry energy)
+                attempts = faults.on_data_write("lr", address, now)
+                if attempts > 1:
+                    self._energy.refresh_j += (
+                        (attempts - 1) * self.lr_model.data_write_energy
+                    )
         for address in actions.lr_lost:
             block = self.lr_array.block_at(address)
-            if block is not None and block.dirty:
+            dirty = block is not None and block.dirty
+            if dirty:
                 self.data_losses += 1
                 self.tracer.count("l2.data_losses")
+            if faults is not None and block is not None:
+                faults.on_invalidated("lr", address, dirty, now)
             self.lr_array.invalidate(address)
         for address in actions.hr_drop_clean:
+            if faults is not None:
+                faults.on_invalidated("hr", address, False, now)
             self.hr_array.invalidate(address)
         for address in actions.hr_drop_dirty:
             # forced write-back before the data decays
             self._energy.refresh_j += self.hr_model.data_read_energy
+            if faults is not None:
+                # the write-back read verifies the block on its way out
+                faults.on_invalidated("hr", address, True, now)
             self.hr_array.invalidate(address)
             writebacks += 1
         self.dram_writebacks_total += writebacks
@@ -317,6 +376,14 @@ class TwoPartSTTL2(L2Interface):
             energy += self.lr_model.data_write_energy
             latency = tag_latency + self.lr_model.data_array.write_latency
             self.lr_data_writes += 1
+            if self.faults is not None:
+                attempts = self.faults.on_data_write("lr", line, now)
+                if attempts > 1:
+                    # retries serialise on the write port
+                    energy += (attempts - 1) * self.lr_model.data_write_energy
+                    latency += (
+                        (attempts - 1) * self.lr_model.data_array.write_latency
+                    )
         else:
             energy += self.lr_model.data_read_energy
             latency = tag_latency + self.lr_model.data_array.read_latency
@@ -344,11 +411,17 @@ class TwoPartSTTL2(L2Interface):
         # below threshold: the write is served by the HR array
         self.hr_array.access(line, True, now)
         energy += self.hr_model.data_write_energy
+        latency = tag_latency + self.hr_model.data_array.write_latency
         self.hr_data_writes += 1
+        if self.faults is not None:
+            attempts = self.faults.on_data_write("hr", line, now)
+            if attempts > 1:
+                energy += (attempts - 1) * self.hr_model.data_write_energy
+                latency += (attempts - 1) * self.hr_model.data_array.write_latency
         self._energy.demand_j += energy
         return L2AccessResult(
             hit=True, part="hr",
-            latency_s=tag_latency + self.hr_model.data_array.write_latency,
+            latency_s=latency,
             energy_j=energy,
         )
 
@@ -362,6 +435,9 @@ class TwoPartSTTL2(L2Interface):
         # merged hit/miss statistics exact)
         self.hr_array.access(line, True, now)
         self.hr_array.extract(line)
+        if self.faults is not None:
+            # the migration read vacates any armed fault on the HR copy
+            self.faults.discard("hr", line)
         writebacks += self._buffer_push(self.hr_to_lr, line, True, now)
         self.migrations_to_lr += 1
         if self.tracer.enabled:
@@ -374,6 +450,12 @@ class TwoPartSTTL2(L2Interface):
         fill = self.lr_array.fill(line, now, dirty=True)
         migration_energy += self.lr_model.data_write_energy
         self.lr_data_writes += 1
+        if self.faults is not None:
+            attempts = self.faults.on_data_write("lr", line, now)
+            if attempts > 1:
+                migration_energy += (
+                    (attempts - 1) * self.lr_model.data_write_energy
+                )
         if fill.evicted_address is not None:
             writebacks += self._return_to_hr(
                 fill.evicted_address, fill.evicted_dirty, now
@@ -392,12 +474,25 @@ class TwoPartSTTL2(L2Interface):
         """An LR eviction returns to HR through the LR->HR buffer."""
         writebacks = 0
         self._energy.migration_j += self.lr_model.data_read_energy
+        if self.faults is not None:
+            # the migration read verifies the victim on its way out of LR
+            self.faults.on_invalidated("lr", victim_line, victim_dirty, now)
         writebacks += self._buffer_push(self.lr_to_hr, victim_line, victim_dirty, now)
         self.returns_to_hr += 1
         self.tracer.count("l2.returns_to_hr")
         outcome = self.hr_array.fill(victim_line, now, dirty=victim_dirty)
         self._energy.migration_j += self.hr_model.data_write_energy
         self.hr_data_writes += 1
+        if self.faults is not None:
+            attempts = self.faults.on_data_write("hr", victim_line, now)
+            if attempts > 1:
+                self._energy.migration_j += (
+                    (attempts - 1) * self.hr_model.data_write_energy
+                )
+            if outcome.evicted_address is not None:
+                self.faults.on_invalidated(
+                    "hr", outcome.evicted_address, outcome.evicted_dirty, now
+                )
         if outcome.evicted_dirty:
             writebacks += 1
         self.dram_writebacks_total += writebacks
@@ -413,6 +508,8 @@ class TwoPartSTTL2(L2Interface):
             if popped_dirty:
                 writebacks += 1
                 self.dram_writebacks_total += 1
+            if self.faults is not None:
+                self.faults.on_buffer_overflow(buffer.name, popped_dirty)
             if self.tracer.enabled:
                 if popped_dirty:
                     self.tracer.count("l2.buffer_overflow_writebacks")
@@ -433,6 +530,18 @@ class TwoPartSTTL2(L2Interface):
             self.hr_data_writes += 1
         writebacks = 1 if outcome.evicted_dirty else 0
         self.dram_writebacks_total += writebacks
+        if self.faults is not None:
+            if outcome.evicted_address is not None:
+                # the eviction read verifies the departing block
+                self.faults.on_invalidated(
+                    "hr", outcome.evicted_address, outcome.evicted_dirty, now
+                )
+            if outcome.filled:
+                attempts = self.faults.on_data_write("hr", line, now)
+                if attempts > 1:
+                    fill_energy += (
+                        (attempts - 1) * self.hr_model.data_write_energy
+                    )
         self._energy.demand_j += energy
         self._energy.fill_j += fill_energy
         return L2AccessResult(
@@ -452,6 +561,17 @@ class TwoPartSTTL2(L2Interface):
         self._energy.fill_j += fill_energy
         writebacks = 1 if outcome.evicted_dirty else 0
         self.dram_writebacks_total += writebacks
+        if self.faults is not None:
+            if outcome.evicted_address is not None:
+                self.faults.on_invalidated(
+                    "hr", outcome.evicted_address, outcome.evicted_dirty, now
+                )
+            if outcome.filled:
+                attempts = self.faults.on_data_write("hr", line, now)
+                if attempts > 1:
+                    extra = (attempts - 1) * self.hr_model.data_write_energy
+                    fill_energy += extra
+                    self._energy.fill_j += extra
         return L2AccessResult(
             hit=outcome.hit, part="hr",
             latency_s=self.hr_model.data_array.write_latency,

@@ -38,3 +38,11 @@ class AnalysisError(ReproError):
 
 class TracingError(ReproError):
     """The tracing layer was misused or a trace document is malformed."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection plan or campaign is invalid or misused."""
+
+
+class InvariantViolationError(SimulationError):
+    """The invariant checker found inconsistent simulation state."""

@@ -1,0 +1,50 @@
+"""Fault injection and invariant checking for the two-part L2.
+
+The paper's architecture exists to survive retention failures, yet the
+plain simulator only exercises the happy path where every retention
+counter fires in time.  This package turns the reproduction into a
+robustness testbed:
+
+* :class:`FaultPlan` / :class:`FaultInjector` — a deterministic, seedable
+  fault model threaded through :class:`~repro.core.twopart.TwoPartSTTL2`:
+  stochastic retention-bit collapse (driven by the survival model in
+  :mod:`repro.sttram.failure`), MTJ write errors with bounded retry, and
+  refresh-sweep starvation.  Migration-buffer overflow is forced by
+  campaign configuration (shrunken buffers) rather than by the injector.
+* :class:`InvariantChecker` — a pure observer that re-derives simulation
+  state consistency every cycle batch: HR/LR residency exclusivity,
+  tag-index-dict vs linear-scan agreement, counter reconciliation against
+  :mod:`repro.tracing`, and conservation of dirty data (every dirty line
+  that leaves residency must be matched by a DRAM write-back or an
+  accounted data-loss event).
+* :mod:`repro.faults.campaign` — named injection campaigns surfaced as
+  ``repro-sttgpu inject <campaign>`` with a deterministic JSON report.
+
+``docs/faults.md`` is the reference for the campaign catalog, the
+invariant list, and the report schema.
+"""
+
+from repro.faults.campaign import (
+    CAMPAIGNS,
+    REPORT_SCHEMA_VERSION,
+    CampaignSpec,
+    run_campaign,
+    validate_report,
+    write_report,
+)
+from repro.faults.injector import FaultInjector, FaultPlan, FaultStats
+from repro.faults.invariants import InvariantChecker, Violation
+
+__all__ = [
+    "CAMPAIGNS",
+    "REPORT_SCHEMA_VERSION",
+    "CampaignSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "InvariantChecker",
+    "Violation",
+    "run_campaign",
+    "validate_report",
+    "write_report",
+]

@@ -1,0 +1,356 @@
+"""Deterministic, seedable fault injection for the two-part L2.
+
+The injector owns one seeded RNG stream and three failure modes, each
+mapped to a concrete device mechanism:
+
+* **Retention collapse** — every time a block's cells are (re)written, a
+  survival time is sampled from the exponential model in
+  :mod:`repro.sttram.failure` with mean ``collapse_scale x`` the part's
+  architectural retention window.  A draw below the window *arms* an early
+  collapse: the block silently corrupts at its sampled deadline instead of
+  surviving to deterministic expiry.  Detection is read-based (parity-style):
+  a demand probe, a refresh read, or an eviction/write-back read of a
+  collapsed block detects the corruption; serving a hit from a collapsed
+  block is an *undetected* corruption and is what the invariant checker
+  must prove never happens.
+* **Write errors** — each data-array write fails independently with
+  ``write_error_rate`` (the stochastic-switching failure mode of the MTJ
+  model); failed writes retry up to ``max_write_retries`` times, each
+  retry charging another array write.  A write whose whole retry budget
+  fails leaves the cells corrupt — modeled as an immediate collapse that
+  the detection machinery must catch.
+* **Refresh starvation** — sweep scheduling is stretched by
+  ``sweep_delay_factor``, exposing expiry races where LR blocks cross
+  their retention window before the (late) refresh sweep reaches them.
+
+Every hook keeps an exact ledger (:class:`FaultStats`).  The accounting
+identity ``armed == recovered + detected + vacated + pending`` holds at
+all times and is itself one of the checker's invariants.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import FaultInjectionError
+from repro.sttram.failure import sample_lifetime
+from repro.tracing import NULL_TRACER, TraceCollector
+
+#: Parts the retention-collapse mode may target.
+_VALID_PARTS = ("lr", "hr")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject, with every knob validated at construction.
+
+    Attributes
+    ----------
+    seed:
+        Seed of the injector's private RNG stream; campaigns with equal
+        plans produce byte-identical reports.
+    retention_collapse:
+        Enable stochastic early collapse of resident blocks.
+    collapse_scale:
+        Mean of the sampled lifetime as a multiple of the part's
+        architectural retention window.  ``1.0`` arms ~63% of writes
+        (``P(early) = 1 - e^(-1/scale)``); larger values make early
+        collapse rarer.
+    collapse_parts:
+        Which parts the collapse mode targets (subset of ``("lr", "hr")``).
+    write_errors:
+        Enable per-write MTJ switching failures.
+    write_error_rate:
+        Independent failure probability of each write attempt.
+    max_write_retries:
+        Bounded retry budget per write; exhausting it corrupts the block.
+    sweep_delay_factor:
+        Multiplier on the refresh engine's sweep period (``1.0`` = no
+        starvation).
+    """
+
+    seed: int = 0
+    retention_collapse: bool = False
+    collapse_scale: float = 1.0
+    collapse_parts: Tuple[str, ...] = ("lr", "hr")
+    write_errors: bool = False
+    write_error_rate: float = 0.0
+    max_write_retries: int = 3
+    sweep_delay_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.collapse_scale <= 0:
+            raise FaultInjectionError(
+                f"collapse_scale must be positive, got {self.collapse_scale}"
+            )
+        bad = [p for p in self.collapse_parts if p not in _VALID_PARTS]
+        if bad:
+            raise FaultInjectionError(f"unknown collapse parts {bad!r}")
+        if not 0.0 <= self.write_error_rate < 1.0:
+            raise FaultInjectionError(
+                f"write_error_rate must be in [0, 1), got {self.write_error_rate}"
+            )
+        if self.write_errors and self.write_error_rate == 0.0:
+            raise FaultInjectionError("write_errors enabled but write_error_rate is 0")
+        if self.max_write_retries < 0:
+            raise FaultInjectionError(
+                f"max_write_retries must be >= 0, got {self.max_write_retries}"
+            )
+        if self.sweep_delay_factor < 1.0:
+            raise FaultInjectionError(
+                f"sweep_delay_factor must be >= 1, got {self.sweep_delay_factor}"
+            )
+
+    @property
+    def any_enabled(self) -> bool:
+        """True when at least one failure mode is switched on."""
+        return (
+            self.retention_collapse
+            or self.write_errors
+            or self.sweep_delay_factor > 1.0
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe rendering (embedded in campaign reports)."""
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        payload["collapse_parts"] = list(self.collapse_parts)
+        return payload
+
+
+@dataclass
+class FaultStats:
+    """Exact ledger of injected faults and their outcomes.
+
+    ``retention_armed + write_uncorrectable`` faults are ever armed; each
+    armed fault ends in exactly one of ``retention_recovered`` (the cells
+    were rewritten/refreshed before the sampled deadline),
+    ``retention_detected`` (a read caught the collapsed block),
+    ``retention_vacated`` (the block left residency before the fault could
+    manifest), or remains pending.  ``undetected_corrupt_serves`` counts
+    demand hits served from collapsed blocks — always zero under a correct
+    cache implementation, and the invariant checker's smoking gun.
+    """
+
+    retention_armed: int = 0
+    retention_recovered: int = 0
+    retention_detected: int = 0
+    retention_vacated: int = 0
+    retention_data_loss: int = 0
+    undetected_corrupt_serves: int = 0
+    write_errors: int = 0
+    write_retries: int = 0
+    write_uncorrectable: int = 0
+    buffer_overflows: int = 0
+    buffer_overflow_dirty: int = 0
+    sweeps_delayed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-safe snapshot, field order fixed by the dataclass."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class FaultInjector:
+    """Seeded fault source the L2 stack consults through narrow hooks.
+
+    Parameters
+    ----------
+    plan:
+        The validated :class:`FaultPlan`.
+    retention_by_part:
+        Architectural retention window per part, e.g.
+        ``{"lr": 40e-6, "hr": 40e-3}``.  Parts missing from the mapping
+        (an SRAM LR part) never collapse.
+    tracer:
+        Optional :class:`~repro.tracing.TraceCollector`; every ledger
+        event is mirrored as a ``faults.*`` counter so campaign reports
+        reconcile against traces.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        retention_by_part: Mapping[str, float],
+        tracer: Optional[TraceCollector] = None,
+    ) -> None:
+        for part, retention in retention_by_part.items():
+            if part not in _VALID_PARTS:
+                raise FaultInjectionError(f"unknown part {part!r}")
+            if retention <= 0:
+                raise FaultInjectionError(
+                    f"retention for {part!r} must be positive, got {retention}"
+                )
+        self.plan = plan
+        self.retention_by_part = dict(retention_by_part)
+        self.rng = random.Random(plan.seed)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = FaultStats()
+        #: armed collapse deadlines: (part, line_address) -> absolute time
+        self._deadlines: Dict[Tuple[str, int], float] = {}
+
+    # --- retention collapse -------------------------------------------
+
+    def on_cell_write(self, part: str, line: int, now: float) -> None:
+        """The cells of ``line`` were fully rewritten (fill/write/refresh).
+
+        Rewriting restarts the physical clock: a previously armed collapse
+        can no longer manifest (counted as recovered — the refresh/
+        migration machinery did its job), and a fresh survival time is
+        sampled for the new data.
+        """
+        plan = self.plan
+        retention = self.retention_by_part.get(part)
+        if (
+            not plan.retention_collapse
+            or retention is None
+            or part not in plan.collapse_parts
+        ):
+            return
+        key = (part, line)
+        if self._deadlines.pop(key, None) is not None:
+            self.stats.retention_recovered += 1
+            self.tracer.count("faults.retention.recovered")
+        lifetime = sample_lifetime(plan.collapse_scale * retention, self.rng.random())
+        if lifetime < retention:
+            self._deadlines[key] = now + lifetime
+            self.stats.retention_armed += 1
+            self.tracer.count("faults.retention.armed")
+
+    def collapsed(self, part: str, line: int, now: float) -> bool:
+        """Has ``line``'s armed collapse deadline passed?"""
+        deadline = self._deadlines.get((part, line))
+        return deadline is not None and now >= deadline
+
+    def on_invalidated(self, part: str, line: int, dirty: bool, now: float) -> None:
+        """``line`` left residency through a *read* path (expiry/eviction).
+
+        Expiry invalidations and eviction write-backs read the block, so a
+        collapsed block is *detected* here; an armed-but-not-yet-collapsed
+        fault is vacated (it can no longer manifest).  A detected collapse
+        of a dirty block is a data-loss event: the data was corrupt before
+        the write-back could save it.
+        """
+        deadline = self._deadlines.pop((part, line), None)
+        if deadline is None:
+            return
+        if now >= deadline:
+            self.stats.retention_detected += 1
+            self.tracer.count("faults.retention.detected")
+            if dirty:
+                self.stats.retention_data_loss += 1
+                self.tracer.count("faults.retention.data_loss")
+        else:
+            self.stats.retention_vacated += 1
+            self.tracer.count("faults.retention.vacated")
+
+    def discard(self, part: str, line: int) -> None:
+        """``line`` left ``part`` without a verifying read (migration move)."""
+        if self._deadlines.pop((part, line), None) is not None:
+            self.stats.retention_vacated += 1
+            self.tracer.count("faults.retention.vacated")
+
+    def on_hit_served(self, part: str, line: int, now: float) -> None:
+        """A demand hit was served from ``line``; flag corrupt serves.
+
+        A correct cache expires collapsed blocks on the probe path before
+        serving them, so this never fires there; a broken implementation
+        that skips the check hands corrupt data to the GPU, which the
+        invariant checker reports as undetected data loss.
+        """
+        deadline = self._deadlines.get((part, line))
+        if deadline is not None and now >= deadline:
+            self.stats.undetected_corrupt_serves += 1
+            self.tracer.count("faults.retention.undetected_serves")
+
+    # --- write errors -------------------------------------------------
+
+    def write_attempts(self, part: str, line: int, now: float) -> int:
+        """Attempts needed to commit one data-array write (``>= 1``).
+
+        Each attempt fails independently with ``write_error_rate``; the
+        write retries up to ``max_write_retries`` times (the caller
+        charges one array write per attempt).  If the entire budget
+        fails, the cells are left corrupt: the line is marked collapsed
+        *now* and must be caught by the detection machinery.
+        """
+        plan = self.plan
+        if not plan.write_errors:
+            return 1
+        max_attempts = 1 + plan.max_write_retries
+        attempts = 0
+        while True:
+            attempts += 1
+            if self.rng.random() >= plan.write_error_rate:
+                break
+            self.stats.write_errors += 1
+            self.tracer.count("faults.write.errors")
+            if attempts >= max_attempts:
+                self.stats.write_uncorrectable += 1
+                self.tracer.count("faults.write.uncorrectable")
+                # the corrupt cells supersede any armed retention fault on
+                # this line (the ledger resolves it as recovered: the old
+                # data was rewritten, however badly)
+                if self._deadlines.pop((part, line), None) is not None:
+                    self.stats.retention_recovered += 1
+                    self.tracer.count("faults.retention.recovered")
+                self._deadlines[(part, line)] = now
+                break
+            self.stats.write_retries += 1
+            self.tracer.count("faults.write.retries")
+        return attempts
+
+    def on_data_write(self, part: str, line: int, now: float) -> int:
+        """Combined hook for one data-array write; returns total attempts.
+
+        Restarts the retention clock (:meth:`on_cell_write`) *before*
+        drawing write-error attempts (:meth:`write_attempts`) — the order
+        matters: an uncorrectable write must leave the line collapsed, not
+        have its corruption erased by the clock restart.
+        """
+        self.on_cell_write(part, line, now)
+        return self.write_attempts(part, line, now)
+
+    # --- refresh starvation -------------------------------------------
+
+    def stretch_tick(self, tick_s: float) -> float:
+        """Sweep period after starvation (identity when factor is 1)."""
+        factor = self.plan.sweep_delay_factor
+        if factor > 1.0:
+            self.stats.sweeps_delayed += 1
+            self.tracer.count("faults.refresh.sweeps_delayed")
+            return tick_s * factor
+        return tick_s
+
+    # --- observation hooks --------------------------------------------
+
+    def on_buffer_overflow(self, buffer_name: str, dirty: bool) -> None:
+        """A migration buffer forced its oldest entry out (campaign ledger)."""
+        self.stats.buffer_overflows += 1
+        if dirty:
+            self.stats.buffer_overflow_dirty += 1
+        self.tracer.count("faults.buffer.overflows")
+
+    # --- roll-ups -----------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Armed faults whose blocks are still resident (not yet resolved)."""
+        return len(self._deadlines)
+
+    def accounting_balanced(self) -> bool:
+        """Does the arm/resolve ledger balance exactly?
+
+        ``armed + uncorrectable == recovered + detected + vacated +
+        pending`` must hold at every instant; the invariant checker calls
+        this every cycle batch.  (Undetected corrupt serves do not resolve
+        a fault — the corrupt block stays resident.)
+        """
+        stats = self.stats
+        armed = stats.retention_armed + stats.write_uncorrectable
+        resolved = (
+            stats.retention_recovered
+            + stats.retention_detected
+            + stats.retention_vacated
+        )
+        return armed == resolved + self.pending

@@ -1,0 +1,295 @@
+"""Invariant checker: re-derives simulation-state consistency as an observer.
+
+The checker never mutates the simulated cache — every probe it performs is
+side-effect free (``CacheSet.lookup`` / ``lookup_linear``, block iteration,
+counter reads), so attaching it to a run leaves the simulation results
+byte-identical (the bench digests gate this).  Each *cycle batch* (every
+``interval`` trace records, plus a final pass) it asserts:
+
+1. **Residency exclusivity** — no line address is valid in both the LR and
+   HR arrays at once (the migration protocol extracts before filling).
+2. **Tag-index agreement** — each set's hot-path tag->way dict agrees with
+   a linear scan of the ways, in both directions (no stale or missing
+   entries).
+3. **Counter reconciliation** — the L2's scalar counters agree with the
+   trace collector's counters (when tracing is on), with the WWS monitor's
+   decision ledger, and with the refresh engine's sweep statistics.
+4. **Dirty-data conservation** — every dirty line that left residency
+   since the previous batch is matched by a DRAM write-back or an
+   accounted data-loss event; dirty data never silently vanishes.
+5. **Buffer bounds** — migration-buffer occupancy never exceeds capacity.
+6. **Fault-ledger balance** — when a :class:`~repro.faults.FaultInjector`
+   is attached: the arm/resolve accounting identity holds and no demand
+   hit was ever served from a collapsed block (undetected data loss).
+
+Violations are collected (capped, with an exact total) rather than raised,
+so a campaign can report everything it saw; :meth:`InvariantChecker.assert_ok`
+raises :class:`~repro.errors.InvariantViolationError` for callers that want
+fail-fast behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set
+
+from repro.cache.array import SetAssociativeCache
+from repro.core.interface import L2Interface
+from repro.core.twopart import TwoPartSTTL2
+from repro.errors import FaultInjectionError, InvariantViolationError
+from repro.tracing import TraceCollector
+
+#: Stored-violation cap; the total count is always exact.
+MAX_RECORDED_VIOLATIONS = 50
+
+#: Default number of trace records between checks (one "cycle batch").
+DEFAULT_CHECK_INTERVAL = 256
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation: which invariant, where, and when."""
+
+    invariant: str
+    detail: str
+    now: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe rendering (campaign report ``invariants.violations``)."""
+        return {"invariant": self.invariant, "detail": self.detail, "now": self.now}
+
+
+class InvariantChecker:
+    """Validates an L2's internal consistency after every cycle batch.
+
+    Parameters
+    ----------
+    l2:
+        The cache under observation.  Two-part caches get the full
+        invariant set; any other :class:`~repro.core.interface.L2Interface`
+        gets the generic subset (tag-index agreement on every
+        :class:`~repro.cache.array.SetAssociativeCache` it exposes).
+    tracer:
+        The run's :class:`~repro.tracing.TraceCollector` when tracing is
+        enabled; unlocks counter reconciliation.
+    interval:
+        Trace records per cycle batch (:meth:`after_access` runs a full
+        :meth:`check` every ``interval`` calls).
+    """
+
+    def __init__(
+        self,
+        l2: L2Interface,
+        tracer: Optional[TraceCollector] = None,
+        interval: int = DEFAULT_CHECK_INTERVAL,
+    ) -> None:
+        if interval < 1:
+            raise FaultInjectionError(f"check interval must be >= 1, got {interval}")
+        self.l2 = l2
+        self.tracer = tracer if tracer is not None and tracer.enabled else None
+        self.interval = interval
+        self.checks_run = 0
+        self.total_violations = 0
+        self.violations: List[Violation] = []
+        self._accesses = 0
+        self._prev_dirty: Set[int] = set()
+        self._prev_accounted = 0
+        self._prev_undetected = 0
+
+    # --- driving ------------------------------------------------------
+
+    def after_access(self, now: float) -> None:
+        """Per-trace-record hook; runs :meth:`check` every ``interval`` calls."""
+        self._accesses += 1
+        if self._accesses % self.interval == 0:
+            self.check(now)
+
+    def finalize(self, now: float) -> List[Violation]:
+        """End-of-run pass; returns every violation found."""
+        self.check(now)
+        return self.violations
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant has been violated so far."""
+        return self.total_violations == 0
+
+    def assert_ok(self) -> None:
+        """Raise :class:`InvariantViolationError` if anything was violated."""
+        if not self.ok:
+            first = self.violations[0]
+            raise InvariantViolationError(
+                f"{self.total_violations} invariant violation(s); first: "
+                f"[{first.invariant}] {first.detail} (t={first.now})"
+            )
+
+    def _record(self, invariant: str, detail: str, now: float) -> None:
+        self.total_violations += 1
+        if len(self.violations) < MAX_RECORDED_VIOLATIONS:
+            self.violations.append(Violation(invariant, detail, now))
+
+    # --- the checks ---------------------------------------------------
+
+    def check(self, now: float) -> None:
+        """Run every applicable invariant once against the current state."""
+        self.checks_run += 1
+        l2 = self.l2
+        for array in self._arrays():
+            self._check_tag_index(array, now)
+        if isinstance(l2, TwoPartSTTL2):
+            self._check_exclusivity(l2, now)
+            self._check_buffers(l2, now)
+            self._check_counters(l2, now)
+            self._check_dirty_conservation(l2, now)
+        faults = getattr(l2, "faults", None)
+        if faults is not None:
+            self._check_fault_ledger(faults, now)
+
+    def _arrays(self) -> List[SetAssociativeCache]:
+        l2 = self.l2
+        if isinstance(l2, TwoPartSTTL2):
+            return [l2.lr_array, l2.hr_array]
+        array = getattr(l2, "array", None)
+        return [array] if isinstance(array, SetAssociativeCache) else []
+
+    def _check_tag_index(self, array: SetAssociativeCache, now: float) -> None:
+        for index, cache_set in enumerate(array.sets):
+            valid = {
+                block.tag: way
+                for way, block in enumerate(cache_set.blocks)
+                if block.valid
+            }
+            for tag, way in valid.items():
+                if cache_set.lookup(tag) != way:
+                    self._record(
+                        "tag-index-agreement",
+                        f"{array.name} set {index}: dict maps tag {tag:#x} to "
+                        f"{cache_set.lookup(tag)} but linear scan finds way {way}",
+                        now,
+                    )
+            if len(valid) != len(cache_set._tag_to_way):
+                stale = set(cache_set._tag_to_way) - set(valid)
+                self._record(
+                    "tag-index-agreement",
+                    f"{array.name} set {index}: {len(stale)} stale dict "
+                    f"entries for invalid blocks (tags {sorted(stale)[:4]})",
+                    now,
+                )
+
+    def _resident_lines(self, array: SetAssociativeCache) -> Set[int]:
+        rebuild = array.mapper.rebuild
+        return {
+            rebuild(block.tag, index)
+            for index, _, block in array.iter_blocks()
+            if block.valid
+        }
+
+    def _check_exclusivity(self, l2: TwoPartSTTL2, now: float) -> None:
+        both = self._resident_lines(l2.lr_array) & self._resident_lines(l2.hr_array)
+        if both:
+            self._record(
+                "residency-exclusivity",
+                f"{len(both)} line(s) resident in both parts, e.g. "
+                f"{sorted(both)[0]:#x}",
+                now,
+            )
+
+    def _check_buffers(self, l2: TwoPartSTTL2, now: float) -> None:
+        for buffer in (l2.hr_to_lr, l2.lr_to_hr):
+            if len(buffer) > buffer.capacity_lines:
+                self._record(
+                    "buffer-bounds",
+                    f"buffer {buffer.name} holds {len(buffer)} entries, "
+                    f"capacity {buffer.capacity_lines}",
+                    now,
+                )
+
+    def _check_counters(self, l2: TwoPartSTTL2, now: float) -> None:
+        if l2.monitor.stats.migrations_triggered != l2.migrations_to_lr:
+            self._record(
+                "counter-reconciliation",
+                f"monitor triggered {l2.monitor.stats.migrations_triggered} "
+                f"migrations but the cache performed {l2.migrations_to_lr}",
+                now,
+            )
+        if l2.refresh_writes > l2.refresh_engine.stats.lr_refreshes:
+            self._record(
+                "counter-reconciliation",
+                f"{l2.refresh_writes} refresh writes exceed the engine's "
+                f"{l2.refresh_engine.stats.lr_refreshes} refresh decisions",
+                now,
+            )
+        if self.tracer is None:
+            return
+        counters = self.tracer.counters_dict()
+        expected = {
+            "l2.data_losses": l2.data_losses,
+            "l2.refresh_writes": l2.refresh_writes,
+            "l2.migrations_to_lr": l2.migrations_to_lr,
+            "l2.returns_to_hr": l2.returns_to_hr,
+        }
+        for name, value in expected.items():
+            if counters.get(name, 0) != value:
+                self._record(
+                    "counter-reconciliation",
+                    f"trace counter {name} = {counters.get(name, 0)} but the "
+                    f"cache reports {value}",
+                    now,
+                )
+
+    def _dirty_lines_now(self, l2: TwoPartSTTL2) -> Set[int]:
+        dirty: Set[int] = set()
+        for array in (l2.lr_array, l2.hr_array):
+            rebuild = array.mapper.rebuild
+            for index, _, block in array.iter_blocks():
+                if block.valid and block.dirty:
+                    dirty.add(rebuild(block.tag, index))
+        return dirty
+
+    def _check_dirty_conservation(self, l2: TwoPartSTTL2, now: float) -> None:
+        current = self._dirty_lines_now(l2)
+        accounted = l2.dram_writebacks_total + l2.data_losses
+        removed = self._prev_dirty - current
+        delta = accounted - self._prev_accounted
+        if delta < len(removed):
+            self._record(
+                "dirty-conservation",
+                f"{len(removed)} dirty line(s) left residency but only "
+                f"{delta} write-back/data-loss event(s) were accounted "
+                f"(e.g. line {sorted(removed)[0]:#x})",
+                now,
+            )
+        self._prev_dirty = current
+        self._prev_accounted = accounted
+
+    def _check_fault_ledger(self, faults: Any, now: float) -> None:
+        if not faults.accounting_balanced():
+            stats = faults.stats
+            self._record(
+                "fault-ledger",
+                f"armed {stats.retention_armed}+{stats.write_uncorrectable} != "
+                f"recovered {stats.retention_recovered} + detected "
+                f"{stats.retention_detected} + vacated "
+                f"{stats.retention_vacated} + pending {faults.pending}",
+                now,
+            )
+        serves = faults.stats.undetected_corrupt_serves
+        if serves > self._prev_undetected:
+            self._record(
+                "undetected-data-loss",
+                f"{serves - self._prev_undetected} demand hit(s) served from "
+                f"collapsed blocks since the last check ({serves} total)",
+                now,
+            )
+            self._prev_undetected = serves
+
+    # --- reporting ----------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe roll-up for campaign reports."""
+        return {
+            "interval": self.interval,
+            "checks": self.checks_run,
+            "total_violations": self.total_violations,
+            "violations": [v.as_dict() for v in self.violations],
+        }

@@ -9,7 +9,7 @@ to write back.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.cache.array import SetAssociativeCache
 from repro.errors import ConfigurationError

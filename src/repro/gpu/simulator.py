@@ -23,7 +23,6 @@ across L2 organizations), not absolute GPGPU-Sim numbers.
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 from repro.cache.banked import BankedCache
@@ -79,6 +78,7 @@ class GPUSimulator:
         deferred_l1_fills: bool = True,
         start_time_s: float = 0.0,
         tracer: Optional[TraceCollector] = None,
+        invariant_checker=None,
     ) -> None:
         if time_dilation <= 0:
             raise SimulationError("time dilation must be positive")
@@ -89,6 +89,10 @@ class GPUSimulator:
         self.time_dilation = time_dilation
         self.deferred_l1_fills = deferred_l1_fills
         self.start_time_s = start_time_s
+        #: optional repro.faults.InvariantChecker; it observes the L2 on
+        #: its own cadence and never mutates state, so attaching one
+        #: leaves the SimulationResult byte-identical (tested)
+        self.invariant_checker = invariant_checker
         #: trace collector shared by every instrumented component; the
         #: shared no-op collector when tracing is off (results identical)
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -176,6 +180,8 @@ class GPUSimulator:
         l1_hit_s = L1_HIT_CYCLES * cycle_s
         noc_rt_s = noc_rt_cycles * cycle_s
         ro_mask = FLAG_CONST | FLAG_TEXTURE
+        checker = self.invariant_checker
+        checker_hook = checker.after_access if checker is not None else None
 
         for sm, address, flag in zip(sms, addresses, flags):
             now += dt
@@ -240,7 +246,11 @@ class GPUSimulator:
                     # behind slow writes backpressures the SM (finite store
                     # buffering) — the STT-baseline's Achilles heel
                     stall_sum_s += wait + result_latency
+            if checker_hook is not None:
+                checker_hook(now * time_dilation)
 
+        if checker is not None:
+            checker.finalize(now * time_dilation)
         self.end_time_s = now
         return self._roll_up(
             occupancy=occupancy,

@@ -87,3 +87,21 @@ def expected_failed_bits(elapsed_s: float, retention_s: float, block_bits: int) 
     if block_bits <= 0:
         raise DeviceModelError(f"block size must be positive, got {block_bits}")
     return block_bits * bit_failure_probability(elapsed_s, retention_s)
+
+
+def sample_lifetime(mean_lifetime_s: float, u: float) -> float:
+    """Inverse-CDF sample of one block's survival time (device view).
+
+    Under the exponential survival model above, a block whose cells have
+    mean lifetime ``mean_lifetime_s`` survives for ``-mean * ln(1 - u)``
+    seconds when ``u`` is a uniform draw in ``[0, 1)``.  The RNG stays with
+    the caller (:class:`repro.faults.FaultInjector` owns a seeded stream so
+    campaigns are deterministic); this function is the pure math.
+    """
+    if mean_lifetime_s <= 0:
+        raise DeviceModelError(
+            f"mean lifetime must be positive, got {mean_lifetime_s}"
+        )
+    if not 0.0 <= u < 1.0:
+        raise DeviceModelError(f"uniform draw must be in [0, 1), got {u}")
+    return -mean_lifetime_s * math.log1p(-u)

@@ -22,7 +22,7 @@ model picks a balanced operating point on that curve.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import DeviceModelError
 from repro.units import NS, YEAR

@@ -38,7 +38,7 @@ import hashlib
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.errors import ReproError
 from repro.io import canonical_json, load_json, write_json_atomic

@@ -221,6 +221,19 @@ class TraceCollector:
         """Flat name -> value snapshot of every counter."""
         return dict(self._counters)
 
+    def counters_with_prefix(self, prefix: str) -> Dict[str, float]:
+        """Snapshot of the counters whose name starts with ``prefix``.
+
+        Campaign reports use this to embed one subsystem's counters (for
+        example every ``faults.*`` counter) without dragging the full
+        counter namespace into the JSON payload.
+        """
+        return {
+            name: value
+            for name, value in self._counters.items()
+            if name.startswith(prefix)
+        }
+
     def histograms_dict(self) -> Dict[str, Dict[str, Any]]:
         """Flat name -> :meth:`Histogram.to_dict` snapshot."""
         return {name: h.to_dict() for name, h in self._histograms.items()}

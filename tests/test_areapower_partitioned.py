@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.areapower.partitioned import Organization, explore, optimal_organization
+from repro.areapower.partitioned import explore, optimal_organization
 from repro.areapower.technology import TECH_32NM, TECH_40NM
 from repro.errors import ConfigurationError
 from repro.units import KB, MB

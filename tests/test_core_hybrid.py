@@ -68,7 +68,7 @@ class TestHybridOrganization:
 
     def test_latency_aliases_work(self):
         hybrid = make("sram")
-        result_miss = hybrid.access(0x1000, is_write=True, now=1e-9)
+        hybrid.access(0x1000, is_write=True, now=1e-9)
         result = hybrid.access(0x1000, is_write=True, now=2e-9)  # migrate
         assert result.part == "lr"
         assert result.latency_s > 0

@@ -5,7 +5,6 @@ mechanism disabled or mis-sized, data losses and correctness hazards must
 actually appear — otherwise the green tests elsewhere would be vacuous.
 """
 
-import pytest
 
 from repro.core import TwoPartSTTL2
 from repro.units import KB, US

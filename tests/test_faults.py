@@ -1,0 +1,410 @@
+"""Tests for the fault-injection subsystem: plan, injector, checker.
+
+The mutation-style tests deliberately break the two-part protocol (or
+blind the injector) and assert the invariant checker catches exactly that
+class of bug — proving the checker has teeth, not just that it stays quiet
+on healthy runs.
+"""
+
+import pytest
+
+from repro.core.twopart import TwoPartSTTL2
+from repro.errors import DeviceModelError, FaultInjectionError, InvariantViolationError
+from repro.faults import FaultInjector, FaultPlan, InvariantChecker
+from repro.faults.invariants import MAX_RECORDED_VIOLATIONS
+from repro.sttram.failure import sample_lifetime
+from repro.units import KB
+
+RETENTIONS = {"lr": 40e-6, "hr": 40e-3}
+
+
+def make_small_l2(**kwargs):
+    """A small two-part L2 (32KB HR 4-way + 8KB LR 2-way) for fast tests."""
+    defaults = dict(
+        hr_capacity_bytes=32 * KB,
+        hr_associativity=4,
+        lr_capacity_bytes=8 * KB,
+        lr_associativity=2,
+        line_size=256,
+    )
+    defaults.update(kwargs)
+    return TwoPartSTTL2(**defaults)
+
+
+def drive(l2, num_accesses=600, write_every=2, stride=256, dt=1e-7, checker=None):
+    """Replay a simple striding read/write mix through a bare L2.
+
+    The 16KB working set fits the small L2s built here, so the stream
+    produces hits, migrations and refreshes — not just a miss parade.
+    """
+    now = 0.0
+    for i in range(num_accesses):
+        now += dt
+        l2.access((i * stride) % (16 * KB), i % write_every == 0, now)
+        if checker is not None:
+            checker.after_access(now)
+    return now
+
+
+class TestFaultPlanValidation:
+    def test_defaults_are_valid_and_disabled(self):
+        plan = FaultPlan()
+        assert not plan.any_enabled
+
+    def test_bad_collapse_scale(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(collapse_scale=0.0)
+
+    def test_bad_collapse_part(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(collapse_parts=("lr", "dram"))
+
+    def test_write_error_rate_bounds(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(write_error_rate=1.0)
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(write_error_rate=-0.1)
+
+    def test_write_errors_need_a_rate(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(write_errors=True, write_error_rate=0.0)
+
+    def test_negative_retries(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(max_write_retries=-1)
+
+    def test_sweep_delay_below_one(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(sweep_delay_factor=0.5)
+
+    def test_as_dict_round_trips_parts_as_list(self):
+        payload = FaultPlan(retention_collapse=True).as_dict()
+        assert payload["collapse_parts"] == ["lr", "hr"]
+        assert payload["retention_collapse"] is True
+
+
+class TestSampleLifetime:
+    def test_zero_draw_gives_zero_lifetime(self):
+        assert sample_lifetime(1e-3, 0.0) == 0.0
+
+    def test_monotone_in_draw(self):
+        mean = 40e-6
+        samples = [sample_lifetime(mean, u) for u in (0.1, 0.5, 0.9, 0.99)]
+        assert samples == sorted(samples)
+
+    def test_median_is_ln2_mean(self):
+        import math
+
+        assert sample_lifetime(1.0, 0.5) == pytest.approx(math.log(2))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(DeviceModelError):
+            sample_lifetime(0.0, 0.5)
+        with pytest.raises(DeviceModelError):
+            sample_lifetime(1e-3, 1.0)
+
+
+class TestInjectorLifecycle:
+    def make_armed(self, plan=None):
+        """Return (injector, key-parts) with one fault armed on LR line 0."""
+        injector = FaultInjector(
+            plan or FaultPlan(seed=3, retention_collapse=True, collapse_scale=0.05),
+            RETENTIONS,
+        )
+        # a tiny collapse scale makes nearly every draw arm; loop for safety
+        for line in range(64):
+            injector.on_cell_write("lr", line, now=0.0)
+            if ("lr", line) in injector._deadlines:
+                return injector, line
+        raise AssertionError("no fault armed in 64 draws")
+
+    def test_arm_then_detect_after_deadline(self):
+        injector, line = self.make_armed()
+        deadline = injector._deadlines[("lr", line)]
+        assert injector.collapsed("lr", line, deadline + 1e-9)
+        injector.on_invalidated("lr", line, dirty=True, now=deadline + 1e-9)
+        assert injector.stats.retention_detected == 1
+        assert injector.stats.retention_data_loss == 1
+        assert injector.accounting_balanced()
+
+    def test_vacate_before_deadline(self):
+        injector, line = self.make_armed()
+        deadline = injector._deadlines[("lr", line)]
+        assert not injector.collapsed("lr", line, deadline / 2)
+        injector.on_invalidated("lr", line, dirty=True, now=deadline / 2)
+        assert injector.stats.retention_vacated == 1
+        assert injector.stats.retention_data_loss == 0
+        assert injector.accounting_balanced()
+
+    def test_rewrite_recovers(self):
+        injector, line = self.make_armed()
+        injector.on_cell_write("lr", line, now=1e-9)
+        assert injector.stats.retention_recovered == 1
+        assert injector.accounting_balanced()
+
+    def test_discard_vacates_without_detection(self):
+        injector, line = self.make_armed()
+        injector.discard("lr", line)
+        assert injector.stats.retention_vacated == 1
+        assert injector.pending == 0
+
+    def test_hit_after_deadline_counts_undetected(self):
+        injector, line = self.make_armed()
+        deadline = injector._deadlines[("lr", line)]
+        injector.on_hit_served("lr", line, deadline + 1e-9)
+        assert injector.stats.undetected_corrupt_serves == 1
+        # the corrupt block stays resident: the ledger must still balance
+        assert injector.accounting_balanced()
+
+    def test_disabled_plan_never_arms(self):
+        injector = FaultInjector(FaultPlan(seed=3), RETENTIONS)
+        for line in range(32):
+            injector.on_cell_write("lr", line, now=0.0)
+            injector.on_cell_write("hr", line, now=0.0)
+        assert injector.pending == 0
+        assert injector.stats.retention_armed == 0
+
+    def test_part_missing_from_retentions_never_arms(self):
+        injector = FaultInjector(
+            FaultPlan(seed=3, retention_collapse=True, collapse_scale=0.05),
+            {"hr": 40e-3},
+        )
+        for line in range(32):
+            injector.on_cell_write("lr", line, now=0.0)
+        assert injector.pending == 0
+
+    def test_rejects_bad_retention_map(self):
+        with pytest.raises(FaultInjectionError):
+            FaultInjector(FaultPlan(), {"dram": 1.0})
+        with pytest.raises(FaultInjectionError):
+            FaultInjector(FaultPlan(), {"lr": -1.0})
+
+
+class TestWriteErrors:
+    def test_attempts_bounded_by_retry_budget(self):
+        plan = FaultPlan(seed=5, write_errors=True, write_error_rate=0.9,
+                         max_write_retries=2)
+        injector = FaultInjector(plan, RETENTIONS)
+        for i in range(200):
+            attempts = injector.write_attempts("lr", i, now=1e-9)
+            assert 1 <= attempts <= 1 + plan.max_write_retries
+
+    def test_uncorrectable_marks_line_collapsed_now(self):
+        plan = FaultPlan(seed=5, write_errors=True, write_error_rate=0.999,
+                         max_write_retries=1)
+        injector = FaultInjector(plan, RETENTIONS)
+        injector.write_attempts("lr", 7, now=3e-9)
+        assert injector.stats.write_uncorrectable == 1
+        assert injector.collapsed("lr", 7, now=3e-9)
+        assert injector.accounting_balanced()
+
+    def test_on_data_write_keeps_uncorrectable_corruption(self):
+        # the combined hook restarts the clock *then* draws errors: an
+        # exhausted budget must leave the line collapsed, not recovered
+        plan = FaultPlan(seed=5, retention_collapse=True, collapse_scale=0.05,
+                         write_errors=True, write_error_rate=0.999,
+                         max_write_retries=0)
+        injector = FaultInjector(plan, RETENTIONS)
+        injector.on_data_write("lr", 9, now=1e-9)
+        assert injector.collapsed("lr", 9, now=1e-9)
+        assert injector.accounting_balanced()
+
+    def test_mixed_modes_ledger_balances_over_many_writes(self):
+        plan = FaultPlan(seed=11, retention_collapse=True, collapse_scale=0.3,
+                         write_errors=True, write_error_rate=0.4,
+                         max_write_retries=2)
+        injector = FaultInjector(plan, RETENTIONS)
+        for i in range(500):
+            injector.on_data_write("lr" if i % 2 else "hr", i % 64, now=i * 1e-8)
+            assert injector.accounting_balanced()
+
+
+class TestStarvationAndOverflowHooks:
+    def test_stretch_identity_at_factor_one(self):
+        injector = FaultInjector(FaultPlan(), RETENTIONS)
+        assert injector.stretch_tick(1e-6) == 1e-6
+        assert injector.stats.sweeps_delayed == 0
+
+    def test_stretch_scales_and_counts(self):
+        injector = FaultInjector(FaultPlan(sweep_delay_factor=8.0), RETENTIONS)
+        assert injector.stretch_tick(1e-6) == pytest.approx(8e-6)
+        assert injector.stats.sweeps_delayed == 1
+
+    def test_buffer_overflow_ledger(self):
+        injector = FaultInjector(FaultPlan(), RETENTIONS)
+        injector.on_buffer_overflow("hr->lr", dirty=True)
+        injector.on_buffer_overflow("lr->hr", dirty=False)
+        assert injector.stats.buffer_overflows == 2
+        assert injector.stats.buffer_overflow_dirty == 1
+
+
+class TestCheckerOnHealthyRuns:
+    def test_clean_twopart_run(self):
+        l2 = make_small_l2()
+        checker = InvariantChecker(l2, interval=16)
+        now = drive(l2, checker=checker)
+        checker.finalize(now)
+        assert checker.ok
+        assert checker.checks_run > 10
+        checker.assert_ok()  # must not raise
+
+    def test_clean_run_with_injection_active(self):
+        plan = FaultPlan(seed=2, retention_collapse=True, collapse_scale=1.0,
+                         write_errors=True, write_error_rate=0.1,
+                         max_write_retries=2)
+        injector = FaultInjector(plan, {"lr": 2e-6, "hr": 4e-5})
+        l2 = make_small_l2(lr_retention_s=2e-6, hr_retention_s=4e-5,
+                           faults=injector)
+        checker = InvariantChecker(l2, interval=16)
+        now = drive(l2, num_accesses=1200, checker=checker)
+        checker.finalize(now)
+        # the healthy cache detects every collapse on a read path
+        assert injector.stats.undetected_corrupt_serves == 0
+        assert injector.accounting_balanced()
+        assert checker.ok, checker.violations
+
+    def test_checker_never_mutates_results(self):
+        plain = make_small_l2()
+        observed = make_small_l2()
+        checker = InvariantChecker(observed, interval=8)
+        drive(plain)
+        drive(observed, checker=checker)
+        assert plain.stats.hits == observed.stats.hits
+        assert plain.dram_writebacks_total == observed.dram_writebacks_total
+        assert plain.energy.total_j == observed.energy.total_j
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            InvariantChecker(make_small_l2(), interval=0)
+
+
+class SilentDirtyDropper(TwoPartSTTL2):
+    """Broken variant: periodically drops a dirty line with no write-back.
+
+    The drop is throttled so dirty lines accumulate between checker
+    batches — a drop must land on a line the checker has already seen, or
+    the interval-sampled conservation check cannot witness it.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._maintenance_calls = 0
+
+    def maintenance(self, now):
+        writebacks = super().maintenance(now)
+        self._maintenance_calls += 1
+        if self._maintenance_calls % 16:
+            return writebacks
+        for array in (self.lr_array, self.hr_array):
+            rebuild = array.mapper.rebuild
+            for index, _, block in array.iter_blocks():
+                if block.valid and block.dirty:
+                    array.invalidate(rebuild(block.tag, index))
+                    return writebacks
+        return writebacks
+
+
+class DoubleResident(TwoPartSTTL2):
+    """Broken variant: migration leaves a stale copy behind in HR."""
+
+    def _migrate_and_write(self, line, now, energy, tag_latency):
+        result = super()._migrate_and_write(line, now, energy, tag_latency)
+        self.hr_array.fill(line, now, dirty=False)
+        return result
+
+
+class BlindInjector(FaultInjector):
+    """Injector whose detection reads are blind: the cache never expires
+    collapsed blocks, so demand hits get served from corrupt data."""
+
+    def collapsed(self, part, line, now):
+        return False
+
+    def on_hit_served(self, part, line, now):
+        # audit against the *raw* deadlines, like the real injector
+        deadline = self._deadlines.get((part, line))
+        if deadline is not None and now >= deadline:
+            self.stats.undetected_corrupt_serves += 1
+
+
+class TestMutationNegatives:
+    """The checker must catch each deliberately-broken variant."""
+
+    def test_silent_dirty_drop_violates_conservation(self):
+        l2 = SilentDirtyDropper(
+            hr_capacity_bytes=32 * KB, hr_associativity=4,
+            lr_capacity_bytes=8 * KB, lr_associativity=2, line_size=256,
+        )
+        checker = InvariantChecker(l2, interval=8)
+        drive(l2, num_accesses=400, checker=checker)
+        assert not checker.ok
+        assert any(v.invariant == "dirty-conservation" for v in checker.violations)
+        with pytest.raises(InvariantViolationError):
+            checker.assert_ok()
+
+    def test_double_residency_violates_exclusivity(self):
+        l2 = DoubleResident(
+            hr_capacity_bytes=32 * KB, hr_associativity=4,
+            lr_capacity_bytes=8 * KB, lr_associativity=2, line_size=256,
+        )
+        checker = InvariantChecker(l2, interval=8)
+        drive(l2, num_accesses=400, checker=checker)
+        assert any(
+            v.invariant == "residency-exclusivity" for v in checker.violations
+        )
+
+    def test_blind_detection_reports_undetected_data_loss(self):
+        plan = FaultPlan(seed=4, retention_collapse=True, collapse_scale=0.05)
+        blind = BlindInjector(plan, {"lr": 2e-6, "hr": 4e-5})
+        l2 = make_small_l2(lr_retention_s=2e-6, hr_retention_s=4e-5, faults=blind)
+        checker = InvariantChecker(l2, interval=8)
+        now = drive(l2, num_accesses=1200, checker=checker)
+        checker.finalize(now)
+        assert blind.stats.undetected_corrupt_serves > 0
+        assert any(
+            v.invariant == "undetected-data-loss" for v in checker.violations
+        )
+
+    def test_corrupt_tag_index_detected(self):
+        l2 = make_small_l2()
+        drive(l2, num_accesses=100)
+        checker = InvariantChecker(l2)
+        l2.hr_array.sets[0]._tag_to_way[0xDEAD] = 0
+        checker.check(now=1.0)
+        assert any(
+            v.invariant == "tag-index-agreement" for v in checker.violations
+        )
+
+    def test_tampered_counter_detected(self):
+        l2 = make_small_l2()
+        drive(l2, num_accesses=100)
+        checker = InvariantChecker(l2)
+        l2.migrations_to_lr += 1
+        checker.check(now=1.0)
+        assert any(
+            v.invariant == "counter-reconciliation" for v in checker.violations
+        )
+
+    def test_violation_total_exact_past_recording_cap(self):
+        l2 = make_small_l2()
+        checker = InvariantChecker(l2)
+        for i in range(MAX_RECORDED_VIOLATIONS + 10):
+            checker._record("test", f"violation {i}", now=float(i))
+        assert len(checker.violations) == MAX_RECORDED_VIOLATIONS
+        assert checker.total_violations == MAX_RECORDED_VIOLATIONS + 10
+
+
+class TestGenericL2Support:
+    def test_uniform_l2_gets_tag_index_checks(self):
+        from repro.core.uniform import UniformL2
+
+        l2 = UniformL2(32 * KB, 4, 256, technology="sram")
+        checker = InvariantChecker(l2, interval=16)
+        now = 0.0
+        for i in range(200):
+            now += 1e-7
+            l2.access((i * 256) % (16 * KB), i % 3 == 0, now)
+            checker.after_access(now)
+        checker.finalize(now)
+        assert checker.ok
+        assert checker.checks_run > 0

@@ -1,6 +1,5 @@
 """Tests for the constant/texture read-only caches and their routing."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
@@ -78,7 +77,7 @@ class TestSimulatorRouting:
 
         workload, _ = self.make_workload_with_const()
         sim = GPUSimulator(baseline_sram(), workload)
-        result = sim.run()
+        sim.run()
         const_accesses = sum(c.array.stats.accesses for c in sim.const_caches)
         tex_accesses = sum(c.array.stats.accesses for c in sim.texture_caches)
         assert const_accesses > 0 and tex_accesses > 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import all_configs, baseline_sram, baseline_stt, config_c1, config_c2
+from repro.config import all_configs, baseline_sram, config_c2
 from repro.errors import SimulationError
 from repro.gpu.simulator import GPUSimulator, simulate
 from repro.workloads import build_workload

@@ -59,11 +59,6 @@ class TestFullStackConsistency:
 
     def test_l2_reads_are_l1_misses_plus_writebacks(self, run):
         sim, result = run
-        fetches = sum(
-            l1.array.stats.read_misses + l1.gpu_stats.local_writes
-            - l1.array.stats.write_hits
-            for l1 in sim.l1s
-        )
         # L2 reads == L1 fetch requests (read misses incl. local write
         # misses, which fetch before writing)
         assert result.l2_reads <= sim.workload.num_accesses

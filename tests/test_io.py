@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import ReproError
 from repro.experiments import table1, table2
-from repro.experiments.common import ExperimentResult
 from repro.io import (
     SCHEMA_VERSION,
     experiment_result_from_dict,

@@ -3,11 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.analysis.lifetime import (
-    DEFAULT_ENDURANCE_WRITES,
-    lifetime_report,
-    relative_lifetime,
-)
+from repro.analysis.lifetime import lifetime_report, relative_lifetime
 from repro.cache.array import SetAssociativeCache
 from repro.cache.wearlevel import WearLevelingCache
 from repro.errors import AnalysisError, ConfigurationError

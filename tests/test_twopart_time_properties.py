@@ -5,7 +5,6 @@ gaps (including gaps far beyond both retention windows), checking the
 invariants that must survive expiry, refresh, and migration in any order.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import TwoPartSTTL2

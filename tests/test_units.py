@@ -1,6 +1,5 @@
 """Tests for repro.units."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

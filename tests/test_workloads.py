@@ -79,7 +79,6 @@ class TestSegments:
         assert scattered.tolist() != sequential.tolist()
 
     def test_phased_wws_rerandomizes(self):
-        rng = np.random.default_rng(0)
         seg = PhasedWriteSegment(128, alpha=1.2)
         seg.start_phase(0)
         perm0 = seg._perm.copy()
