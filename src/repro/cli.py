@@ -15,6 +15,10 @@ Subcommands
     Run a named fault-injection campaign against the two-part L2 with the
     invariant checker attached; exits non-zero iff undetected data loss
     (or any other invariant violation) was found.  See ``docs/faults.md``.
+``diff``
+    Replay a seeded workload through the optimized two-part L2 and the
+    naive reference model in lockstep and diff every observable outcome;
+    exits non-zero iff the models diverge.  See ``docs/oracle.md``.
 """
 
 from __future__ import annotations
@@ -204,6 +208,78 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.errors import OracleError
+    from repro.io import write_json_atomic
+    from repro.oracle import (
+        DEFAULT_DT_S,
+        pressure_config,
+        run_diff,
+        validate_report,
+    )
+
+    configs = all_configs()
+    if args.config == "oracle-small":
+        config = pressure_config()
+    elif args.config in configs:
+        config = configs[args.config]
+    else:
+        print(
+            f"repro-sttgpu diff: unknown config {args.config!r}; choose a "
+            f"two-part config from {sorted(configs)} or 'oracle-small'",
+            file=sys.stderr,
+        )
+        return 2
+    tracer = None
+    if args.trace_out:
+        from repro.tracing import TraceCollector
+
+        tracer = TraceCollector()
+    try:
+        report = run_diff(
+            args.benchmark,
+            config,
+            seed=args.seed,
+            accesses=args.accesses,
+            dt_s=args.dt if args.dt is not None else DEFAULT_DT_S,
+            shrink=args.shrink,
+            mutant=args.mutant,
+            tracer=tracer,
+        )
+        validate_report(report)
+    except OracleError as exc:
+        print(f"repro-sttgpu diff: {exc}", file=sys.stderr)
+        return 2
+    divergence = report["divergence"]
+    print(f"benchmark      : {report['profile']} "
+          f"({report['accesses']} accesses, seed {report['seed']})")
+    print(f"config         : {report['config']}"
+          + (f" [mutant {report['mutant']}]" if report["mutant"] else ""))
+    print(f"checked        : {report['checked_accesses']} accesses in lockstep")
+    if divergence is not None:
+        fields = [f["field"] for f in divergence["fields"]]
+        print(f"divergence     : access #{divergence['index']} "
+              f"at t={divergence['now_s']:.6e}s "
+              f"(address {divergence['address']!r})")
+        print(f"  fields       : {', '.join(fields[:6])}"
+              + (f" (+{len(fields) - 6} more)" if len(fields) > 6 else ""))
+        shrunk = report["shrunk"]
+        if shrunk is not None:
+            print(f"  reproducer   : shrunk to {len(shrunk['accesses'])} "
+                  f"access(es)")
+    if args.out:
+        write_json_atomic(report, args.out)
+        print(f"report         : {args.out}")
+    if tracer is not None:
+        tracer.write(args.trace_out)
+        print(f"trace          : {args.trace_out}")
+    if divergence is None:
+        print("verdict        : OK (models agree on every access)")
+        return 0
+    print("verdict        : DIVERGED (timing-model bug or broken reference)")
+    return 1
+
+
 def _cmd_configs(_args: argparse.Namespace) -> int:
     from repro.config import render_table2
 
@@ -286,6 +362,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_inj.add_argument("--out", metavar="FILE", default=None,
                        help="write the JSON campaign report to FILE")
     p_inj.set_defaults(func=_cmd_inject)
+
+    from repro.oracle.mutants import MUTANTS
+
+    p_diff = sub.add_parser(
+        "diff", help="lockstep-diff the optimized L2 against the naive oracle"
+    )
+    p_diff.add_argument("benchmark", choices=suite_names())
+    p_diff.add_argument("--config", default="C1",
+                        help="two-part config: C1 | C2 | C3 | oracle-small "
+                             "(default C1)")
+    p_diff.add_argument("--seed", type=int, default=0,
+                        help="workload seed; same seed => identical report")
+    p_diff.add_argument("--accesses", type=int, default=4000,
+                        help="lockstep access budget (default 4000)")
+    p_diff.add_argument("--dt", type=float, default=None, metavar="SECONDS",
+                        help="lockstep timestep (default 2e-6, one LR "
+                             "refresh-tick of pressure per access)")
+    p_diff.add_argument("--shrink", action="store_true",
+                        help="on divergence, reduce the input to a 1-minimal "
+                             "reproducing access sequence (ddmin)")
+    p_diff.add_argument("--mutant", default=None, choices=sorted(MUTANTS),
+                        help="run a deliberately broken DUT variant "
+                             "(oracle self-test / shrinking demo)")
+    p_diff.add_argument("--out", metavar="FILE", default=None,
+                        help="write the JSON divergence report to FILE")
+    p_diff.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write a Chrome/Perfetto trace with the "
+                             "oracle.divergence event on the DUT timeline")
+    p_diff.set_defaults(func=_cmd_diff)
 
     p_cfg = sub.add_parser("configs", help="print Table 2")
     p_cfg.set_defaults(func=_cmd_configs)

@@ -136,6 +136,17 @@ class MigrationBuffer:
         self._entries.clear()
         return ready
 
+    def snapshot(self) -> dict:
+        """JSON-safe dump of the in-flight entries and port timing.
+
+        The differential oracle compares this against its reference
+        buffer's snapshot (entry order matters: it is the drain order).
+        """
+        return {
+            "entries": [[a, d, r] for a, d, r in self._entries],
+            "port_free_at": self._port_free_at,
+        }
+
     def pending(self) -> List[int]:
         """Line addresses currently in flight."""
         return [a for a, _, _ in self._entries]

@@ -14,6 +14,7 @@ whenever its cells were last written — fill, demand write, or refresh.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional
 
@@ -62,6 +63,32 @@ class RefreshActions:
     hr_drop_clean: List[int] = field(default_factory=list)
     hr_drop_dirty: List[int] = field(default_factory=list)
 
+    def as_dict(self) -> dict:
+        """JSON-safe rendering (oracle decision diffing, trace events)."""
+        return {
+            "lr_refresh": sorted(self.lr_refresh),
+            "lr_lost": sorted(self.lr_lost),
+            "hr_drop_clean": sorted(self.hr_drop_clean),
+            "hr_drop_dirty": sorted(self.hr_drop_dirty),
+        }
+
+
+def _next_on_grid(now: float, tick_s: float) -> float:
+    """First tick-grid point strictly after ``now``.
+
+    Sweeps are re-scheduled on the grid ``{k * tick_s}`` rather than at
+    ``now + tick_s``: anchoring to the (possibly late) call time let the
+    sweep phase drift later every sweep, and under coarse event timing the
+    accumulated drift could step over the two-tick refresh window entirely
+    (LR lines then expire instead of refreshing).  The float guard below
+    covers ``now`` landing exactly on (or a rounding error before) a grid
+    point.
+    """
+    scheduled = (math.floor(now / tick_s) + 1.0) * tick_s
+    if scheduled <= now:
+        scheduled += tick_s
+    return scheduled
+
 
 class RefreshEngine:
     """Periodic retention sweeps over the LR and HR arrays."""
@@ -95,6 +122,11 @@ class RefreshEngine:
         self._next_lr_scan = lr_spec.tick_s if lr_spec is not None else float("inf")
         self._next_hr_scan = hr_spec.tick_s
         self.stats = RefreshStats()
+        #: decisions of the most recent sweep (observability seam: the
+        #: owning cache consumes the sweep's return value internally, so
+        #: external observers — the differential oracle, invariant
+        #: checkers — read the same decisions here)
+        self.last_actions: Optional[RefreshActions] = None
 
     def due(self, now: float) -> bool:
         """Is any sweep due at time ``now``?"""
@@ -107,15 +139,22 @@ class RefreshEngine:
         if self.lr_spec is not None and now >= self._next_lr_scan:
             self._sweep_lr(now, actions)
             tick = self.lr_spec.tick_s
-            if faults is not None:
-                tick = faults.stretch_tick(tick)
-            self._next_lr_scan = now + tick
+            stretched = faults.stretch_tick(tick) if faults is not None else tick
+            if stretched != tick:
+                # starvation campaigns deliberately delay the next sweep
+                # past the grid; keep the call-time anchor for them
+                self._next_lr_scan = now + stretched
+            else:
+                self._next_lr_scan = _next_on_grid(now, tick)
         if now >= self._next_hr_scan:
             self._sweep_hr(now, actions)
             tick = self.hr_spec.tick_s
-            if faults is not None:
-                tick = faults.stretch_tick(tick)
-            self._next_hr_scan = now + tick
+            stretched = faults.stretch_tick(tick) if faults is not None else tick
+            if stretched != tick:
+                self._next_hr_scan = now + stretched
+            else:
+                self._next_hr_scan = _next_on_grid(now, tick)
+        self.last_actions = actions
         if self.tracer.enabled:
             self.tracer.count("l2.refresh.lr_refreshes", len(actions.lr_refresh))
             self.tracer.count("l2.refresh.lr_expiries", len(actions.lr_lost))

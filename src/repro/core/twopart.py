@@ -494,8 +494,11 @@ class TwoPartSTTL2(L2Interface):
                     "hr", outcome.evicted_address, outcome.evicted_dirty, now
                 )
         if outcome.evicted_dirty:
+            # _buffer_push already accounted any overflow write-back in
+            # dram_writebacks_total; only the HR eviction is new here
+            # (adding the summed ``writebacks`` double-counted overflows)
             writebacks += 1
-        self.dram_writebacks_total += writebacks
+            self.dram_writebacks_total += 1
         return writebacks
 
     def _buffer_push(
@@ -582,6 +585,37 @@ class TwoPartSTTL2(L2Interface):
     # ------------------------------------------------------------------
     # roll-ups
     # ------------------------------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """Canonical JSON-safe dump of the architectural state.
+
+        One entry per resident line (keyed by line address rendered in hex
+        so JSON keys sort stably) with the retention-relevant metadata,
+        plus both migration-buffer snapshots.  The differential oracle
+        compares this against its reference model's snapshot; invariant
+        checkers and bug reports can embed it as-is.
+        """
+        parts = {}
+        for part_name, array in (("lr", self.lr_array), ("hr", self.hr_array)):
+            rebuild = array.mapper.rebuild
+            lines = {}
+            for index, _, block in array.iter_blocks():
+                if not block.valid:
+                    continue
+                lines[f"{rebuild(block.tag, index):#x}"] = {
+                    "dirty": block.dirty,
+                    "write_count": block.write_count,
+                    "insert_time": block.insert_time,
+                    "last_write_time": block.last_write_time,
+                }
+            parts[part_name] = lines
+        return {
+            "parts": parts,
+            "buffers": {
+                "hr_to_lr": self.hr_to_lr.snapshot(),
+                "lr_to_hr": self.lr_to_hr.snapshot(),
+            },
+        }
 
     def dirty_lines(self) -> int:
         """Dirty residents across both parts (eventual write-back debt)."""

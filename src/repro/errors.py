@@ -46,3 +46,7 @@ class FaultInjectionError(ReproError):
 
 class InvariantViolationError(SimulationError):
     """The invariant checker found inconsistent simulation state."""
+
+
+class OracleError(ReproError):
+    """The differential oracle was misused or a report is malformed."""

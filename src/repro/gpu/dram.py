@@ -77,6 +77,8 @@ class DRAMModel:
         self.service_time_s = line_size / (bandwidth_bytes_per_s / num_channels)
         self.max_wait_s = max_queue_wait_factor * base_latency_s
         self._busy_until: List[float] = [0.0] * num_channels
+        #: accumulated seconds of service time per channel (utilization)
+        self._busy_s: List[float] = [0.0] * num_channels
         self._open_row: List[int] = [-1] * num_channels
         self.stats = DRAMStats()
         #: optional trace collector (``dram.*`` counters + latency histogram)
@@ -119,6 +121,7 @@ class DRAMModel:
         start = max(now, self._busy_until[channel])
         wait = min(start - now, self.max_wait_s)
         self._busy_until[channel] = start + self.service_time_s
+        self._busy_s[channel] += self.service_time_s
         self.stats.total_wait_s += wait
         if self.tracer.enabled:
             self.tracer.count("dram.reads")
@@ -144,13 +147,30 @@ class DRAMModel:
             self.tracer.count("dram.writes", count)
 
     def utilization(self, elapsed_s: float) -> float:
-        """Aggregate channel busy fraction over the run."""
+        """Aggregate channel busy fraction over the run.
+
+        Busy time is the *accumulated service time* per channel, not the
+        channel's ``_busy_until`` timestamp (summing clamped timestamps
+        made a channel that served one late request read as busy for the
+        whole run).  Service time queued past ``elapsed_s`` is excluded:
+        requests serialize per channel, so the unfinished tail is the
+        contiguous interval ``(elapsed_s, _busy_until]``.
+        """
         if elapsed_s <= 0:
             return 0.0
-        busy = sum(min(t, elapsed_s) for t in self._busy_until)
+        busy = 0.0
+        for served_s, until in zip(self._busy_s, self._busy_until):
+            overhang = until - elapsed_s
+            if overhang > 0:
+                served_s -= overhang
+            if served_s > elapsed_s:
+                served_s = elapsed_s
+            if served_s > 0:
+                busy += served_s
         return busy / (self.num_channels * elapsed_s)
 
     def reset(self) -> None:
         """Clear channel state between kernels."""
         self._busy_until = [0.0] * self.num_channels
+        self._busy_s = [0.0] * self.num_channels
         self._open_row = [-1] * self.num_channels

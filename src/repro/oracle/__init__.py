@@ -1,0 +1,58 @@
+"""Differential golden-model oracle for the two-part L2.
+
+The optimized simulator core (``repro.core``) earns its speed with
+precomputed tables, ``__slots__`` containers and incremental bookkeeping —
+all of which are places for timing-model bugs to hide.  This package keeps
+it honest: :class:`~repro.oracle.reference.ReferenceTwoPartL2` is a
+deliberately naive, dictionary-based re-implementation of the same
+architecture straight from the paper's prose (WWS monitor, HR<->LR
+migration buffers, per-line retention clocks), and
+:class:`~repro.oracle.runner.LockstepRunner` replays seeded workloads
+through both models simultaneously, diffing per-access outcomes, counters,
+refresh decisions and final architectural state.  A divergence is shrunk
+to a 1-minimal reproducer by :func:`~repro.oracle.shrink.shrink_sequence`
+and serialized via :mod:`repro.oracle.report`.
+
+:mod:`repro.oracle.mutants` holds deliberately broken DUT variants the
+test suite uses to prove the oracle actually catches the bug classes it
+claims to.
+"""
+
+from repro.oracle.mutants import MUTANTS, build_mutant
+from repro.oracle.reference import ReferenceTwoPartL2
+from repro.oracle.report import (
+    ORACLE_SCHEMA_VERSION,
+    REPORT_KIND,
+    build_report,
+    validate_report,
+)
+from repro.oracle.runner import (
+    DEFAULT_DT_S,
+    LockstepRunner,
+    diverges,
+    dut_counters,
+    l2_kwargs_from_config,
+    make_pair,
+    pressure_config,
+    run_diff,
+)
+from repro.oracle.shrink import shrink_sequence
+
+__all__ = [
+    "DEFAULT_DT_S",
+    "MUTANTS",
+    "ORACLE_SCHEMA_VERSION",
+    "REPORT_KIND",
+    "LockstepRunner",
+    "ReferenceTwoPartL2",
+    "build_mutant",
+    "build_report",
+    "diverges",
+    "dut_counters",
+    "l2_kwargs_from_config",
+    "make_pair",
+    "pressure_config",
+    "run_diff",
+    "shrink_sequence",
+    "validate_report",
+]

@@ -1,0 +1,111 @@
+"""Deliberately broken L2 variants that the oracle must catch.
+
+Mutation-style self-tests for the differential oracle: each factory here
+builds a :class:`~repro.core.twopart.TwoPartSTTL2` subclass with one
+realistic, localized bug.  If the lockstep runner fails to flag a mutant
+within a bounded access budget, the oracle's comparison surface has a
+blind spot — so these mutants are run in the test suite (and are reachable
+from the CLI via ``repro-sttgpu diff --mutant NAME`` for demonstrating the
+shrinking workflow on a known bug).
+
+The three mutants target the three subsystems whose timing the paper's
+claims lean on:
+
+``probe-order``
+    The search selector probes HR first for writes and LR first for reads
+    (the paper's order, inverted).  Probe counts, tag energy and serialized
+    tag latency shift on every first-probe hit.
+``drop-lr-return``
+    LR evictions vanish instead of returning to HR through the LR->HR
+    buffer — the "two-part inclusion" bug: the write working set silently
+    shrinks the cache.
+``no-refresh-restart``
+    LR refresh pays its energy but does not restart the line's retention
+    clock, so refreshed lines still expire — the exact failure mode the
+    refresh-cadence fix in this PR guards against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.search import SearchSelector
+from repro.core.twopart import TwoPartSTTL2
+from repro.errors import OracleError
+from repro.tracing import TraceCollector
+
+
+class _SwappedOrderSelector(SearchSelector):
+    """Probe order inverted relative to the paper (writes expect HR)."""
+
+    WRITE_ORDER = ("hr", "lr")
+    READ_ORDER = ("lr", "hr")
+
+
+class _ProbeOrderMutant(TwoPartSTTL2):
+    """Wrong sequential-search probe order (selector and energy table)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.selector = _SwappedOrderSelector(
+            sequential=self.selector.sequential, tracer=self.tracer
+        )
+        # rebuild the precomputed probe-energy table for the swapped order,
+        # exactly as the production constructor does
+        models = {"lr": self.lr_model, "hr": self.hr_model}
+        self._probe_energy_table = {}
+        for write_access in (False, True):
+            order = self.selector.probe_order(write_access)
+            first = models[order[0]].tag_probe_energy
+            self._probe_energy_table[write_access] = {
+                1: first,
+                2: first + models[order[1]].tag_probe_energy,
+            }
+
+
+class _DropLrReturnMutant(TwoPartSTTL2):
+    """LR eviction victims are silently discarded instead of re-filling HR."""
+
+    def _return_to_hr(self, victim_line: int, victim_dirty: bool, now: float) -> int:
+        return 0
+
+
+class _NoRefreshRestartMutant(TwoPartSTTL2):
+    """LR refresh charges energy but leaves the retention clock running."""
+
+    def maintenance(self, now: float) -> int:
+        due = self.refresh_engine.due(now)
+        pre_insert: Dict[int, float] = {}
+        if due:
+            rebuild = self.lr_array.mapper.rebuild
+            for index, _, block in self.lr_array.iter_blocks():
+                if block.valid:
+                    pre_insert[rebuild(block.tag, index)] = block.insert_time
+        writebacks = super().maintenance(now)
+        if due and self.refresh_engine.last_actions is not None:
+            for address in self.refresh_engine.last_actions.lr_refresh:
+                block = self.lr_array.block_at(address)
+                if block is not None and address in pre_insert:
+                    # undo the clock restart the refresh performed
+                    block.insert_time = pre_insert[address]
+        return writebacks
+
+
+MUTANTS: Dict[str, Callable[..., TwoPartSTTL2]] = {
+    "probe-order": _ProbeOrderMutant,
+    "drop-lr-return": _DropLrReturnMutant,
+    "no-refresh-restart": _NoRefreshRestartMutant,
+}
+
+
+def build_mutant(
+    name: str, tracer: Optional[TraceCollector] = None, **l2_kwargs
+) -> TwoPartSTTL2:
+    """Instantiate the named broken variant with production parameters."""
+    try:
+        factory = MUTANTS[name]
+    except KeyError:
+        raise OracleError(
+            f"unknown mutant {name!r}; choose from {sorted(MUTANTS)}"
+        ) from None
+    return factory(tracer=tracer, **l2_kwargs)

@@ -1,0 +1,636 @@
+"""Naive dictionary-based reference model of the two-part L2.
+
+This module deliberately re-implements the full architecture of
+:class:`repro.core.twopart.TwoPartSTTL2` — WWS monitor with threshold-1
+dirty-bit semantics, HR<->LR migration buffers with overflow write-back,
+per-line retention clocks with exact expiry/refresh timing, sequential
+search — in the most literal way possible:
+
+* per-set ``dict`` of plain per-line ``dict`` records instead of block
+  objects, tag maps, ``__slots__`` or shared outcome caches;
+* LRU as an explicit recency list of *line addresses* per set;
+* retention decisions straight from the
+  :class:`~repro.core.retention_counter.RetentionCounterSpec` predicates
+  (``expired`` / ``needs_refresh``) with no hoisted thresholds;
+* no precomputed probe-energy table — probe energy is summed from the
+  per-part models on every access.
+
+The one place the reference is *not* free to be naive is floating-point
+accumulation order: energies and latencies are compared for **exact**
+equality, so every ``+=`` below mirrors the order of operations in the
+optimized implementation (IEEE-754 addition is not associative).  Where
+that matters a comment says so.
+
+The reference is an independent implementation of the same written
+specification (the module docstrings of ``repro.core``), not a copy of the
+optimized code — a bug in either implementation shows up as a lockstep
+divergence.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.areapower.cache_model import CacheEnergyModel
+from repro.areapower.technology import TECH_40NM, TechnologyNode
+from repro.core.interface import L2AccessResult
+from repro.core.retention_counter import RetentionCounterSpec
+from repro.core.twopart import HR_COUNTER_BITS, LR_COUNTER_BITS
+from repro.errors import OracleError
+from repro.sttram.retention import retention_catalogue
+
+
+def _new_line(now: float, dirty: bool) -> dict:
+    """A freshly filled line record (mirrors ``CacheBlock.fill``)."""
+    return {
+        "dirty": dirty,
+        "write_count": 1 if dirty else 0,
+        "insert_time": now,
+        "last_write_time": now if dirty else 0.0,
+    }
+
+
+class _RefArray:
+    """One set-associative part as per-set dicts plus recency lists."""
+
+    def __init__(
+        self, capacity_bytes: int, associativity: int, line_size: int,
+        write_counter_saturation: int = 0,
+    ) -> None:
+        if capacity_bytes % (associativity * line_size) != 0:
+            raise OracleError("reference array geometry does not factor")
+        self.associativity = associativity
+        self.line_size = line_size
+        self.num_sets = capacity_bytes // (associativity * line_size)
+        self.saturation = write_counter_saturation
+        #: per-set mapping of line address -> line record
+        self.sets: List[Dict[int, dict]] = [{} for _ in range(self.num_sets)]
+        #: per-set recency order of line addresses, LRU first / MRU last
+        self.recency: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.stats: Dict[str, int] = {
+            "reads": 0, "writes": 0, "read_hits": 0, "write_hits": 0,
+            "fills": 0, "evictions_clean": 0, "evictions_dirty": 0,
+            "invalidations": 0,
+        }
+
+    def set_index(self, line: int) -> int:
+        """Set holding ``line`` (same slicing as ``AddressMapper.split``)."""
+        return (line // self.line_size) % self.num_sets
+
+    def lookup(self, line: int) -> Optional[dict]:
+        """The record holding ``line``, or None (no side effects)."""
+        return self.sets[self.set_index(line)].get(line)
+
+    def touch(self, line: int) -> None:
+        """Move ``line`` to the MRU end of its set's recency list."""
+        order = self.recency[self.set_index(line)]
+        order.remove(line)
+        order.append(line)
+
+    def record_write(self, record: dict, now: float) -> None:
+        """Account a write hit on a resident line (saturating counter)."""
+        record["dirty"] = True
+        if self.saturation <= 0 or record["write_count"] < self.saturation:
+            record["write_count"] += 1
+        record["last_write_time"] = now
+
+    def fill(self, line: int, now: float, dirty: bool) -> Tuple[Optional[int], bool]:
+        """Install ``line``; returns ``(evicted_line, evicted_dirty)``.
+
+        Present lines are refreshed in place (dirty bit OR-ed in, recency
+        touch) exactly like ``SetAssociativeCache.fill``.  When the set is
+        full the LRU line address is the victim — behaviourally identical
+        to the optimized array's first-invalid-way-else-LRU choice, since
+        at line granularity "an invalid way exists" is "the set has room".
+        """
+        index = self.set_index(line)
+        lines = self.sets[index]
+        record = lines.get(line)
+        if record is not None:
+            if dirty:
+                self.record_write(record, now)
+            self.touch(line)
+            return None, False
+        evicted_line: Optional[int] = None
+        evicted_dirty = False
+        if len(lines) >= self.associativity:
+            evicted_line = self.recency[index][0]
+            evicted_dirty = lines[evicted_line]["dirty"]
+            del lines[evicted_line]
+            self.recency[index].remove(evicted_line)
+            if evicted_dirty:
+                self.stats["evictions_dirty"] += 1
+            else:
+                self.stats["evictions_clean"] += 1
+        lines[line] = _new_line(now, dirty)
+        self.recency[index].append(line)
+        self.stats["fills"] += 1
+        return evicted_line, evicted_dirty
+
+    def invalidate(self, line: int) -> None:
+        """Drop a line if present (retention expiry path; counts stats)."""
+        index = self.set_index(line)
+        if line in self.sets[index]:
+            del self.sets[index][line]
+            self.recency[index].remove(line)
+            self.stats["invalidations"] += 1
+
+    def extract(self, line: int) -> None:
+        """Remove a line for migration (no eviction/invalidation stats)."""
+        index = self.set_index(line)
+        if line in self.sets[index]:
+            del self.sets[index][line]
+            self.recency[index].remove(line)
+
+    def resident_lines(self) -> Dict[int, dict]:
+        """All resident lines keyed by line address."""
+        residents: Dict[int, dict] = {}
+        for lines in self.sets:
+            residents.update(lines)
+        return residents
+
+
+class _RefBuffer:
+    """Naive FIFO mirror of :class:`repro.core.buffers.MigrationBuffer`."""
+
+    def __init__(self, capacity_lines: int, drain_service_time: float) -> None:
+        self.capacity_lines = capacity_lines
+        self.drain_service_time = drain_service_time
+        self.entries: List[Tuple[int, bool, float]] = []
+        self.port_free_at = 0.0
+        self.stats: Dict[str, int] = {
+            "pushes": 0, "drains": 0, "overflows": 0, "peak_occupancy": 0,
+        }
+
+    @property
+    def full(self) -> bool:
+        """No space for another line."""
+        return len(self.entries) >= self.capacity_lines
+
+    def push(self, line: int, dirty: bool, now: float) -> None:
+        """Enqueue a line behind the single drain port (caller checked room)."""
+        start = now if now > self.port_free_at else self.port_free_at
+        ready = start + self.drain_service_time
+        self.port_free_at = ready
+        self.entries.append((line, dirty, ready))
+        self.stats["pushes"] += 1
+        if len(self.entries) > self.stats["peak_occupancy"]:
+            self.stats["peak_occupancy"] = len(self.entries)
+
+    def force_pop(self) -> Tuple[int, bool]:
+        """Evict the oldest entry regardless of timing (overflow handling)."""
+        line, dirty, _ = self.entries.pop(0)
+        self.stats["overflows"] += 1
+        return line, dirty
+
+    def drain_ready(self, now: float) -> None:
+        """Retire every entry whose destination write completed by ``now``."""
+        while self.entries and self.entries[0][2] <= now:
+            self.entries.pop(0)
+            self.stats["drains"] += 1
+
+    def snapshot(self) -> dict:
+        """Same shape as ``MigrationBuffer.snapshot`` for direct diffing."""
+        return {
+            "entries": [[a, d, r] for a, d, r in self.entries],
+            "port_free_at": self.port_free_at,
+        }
+
+
+class ReferenceTwoPartL2:
+    """Golden-model re-implementation of the two-part STT-RAM L2.
+
+    Constructor signature mirrors the behavioural subset of
+    :class:`~repro.core.twopart.TwoPartSTTL2` so both models can be built
+    from the same keyword arguments.  The energy/latency figures come from
+    :class:`~repro.areapower.cache_model.CacheEnergyModel` instances built
+    with the same arguments as the optimized cache's, so the scalar
+    constants are bit-identical and only the *bookkeeping* differs.
+    """
+
+    def __init__(
+        self,
+        hr_capacity_bytes: int,
+        hr_associativity: int,
+        lr_capacity_bytes: int,
+        lr_associativity: int,
+        line_size: int = 256,
+        write_threshold: int = 1,
+        hr_retention_s: float = 40e-3,
+        lr_retention_s: float = 40e-6,
+        buffer_lines: int = 20,
+        sequential_search: bool = True,
+        tech: TechnologyNode = TECH_40NM,
+        track_intervals: bool = True,
+    ) -> None:
+        if not 0 < lr_retention_s < hr_retention_s:
+            raise OracleError("need 0 < LR retention < HR retention")
+        self.line_size = line_size
+        self.write_threshold = write_threshold
+        self.sequential_search = sequential_search
+        self.track_intervals = track_intervals
+        levels = retention_catalogue(
+            hr_retention_s=hr_retention_s, lr_retention_s=lr_retention_s
+        )
+        monitor_counter_bits = max(1, write_threshold.bit_length())
+        self.monitor_saturation = (1 << monitor_counter_bits) - 1
+        self.hr_model = CacheEnergyModel(
+            hr_capacity_bytes, hr_associativity, line_size,
+            sram_data=False, retention_level=levels["hr"],
+            extra_status_bits=HR_COUNTER_BITS + monitor_counter_bits,
+            tech=tech,
+        )
+        self.lr_model = CacheEnergyModel(
+            lr_capacity_bytes, lr_associativity, line_size,
+            sram_data=False, retention_level=levels["lr"],
+            extra_status_bits=LR_COUNTER_BITS,
+            tech=tech,
+        )
+        self.lr_spec = RetentionCounterSpec(LR_COUNTER_BITS, lr_retention_s)
+        self.hr_spec = RetentionCounterSpec(HR_COUNTER_BITS, hr_retention_s)
+        self.hr = _RefArray(
+            hr_capacity_bytes, hr_associativity, line_size,
+            write_counter_saturation=self.monitor_saturation,
+        )
+        self.lr = _RefArray(lr_capacity_bytes, lr_associativity, line_size)
+        self.hr_to_lr = _RefBuffer(
+            buffer_lines, self.lr_model.data_array.write_latency
+        )
+        self.lr_to_hr = _RefBuffer(
+            buffer_lines, self.hr_model.data_array.write_latency
+        )
+        self.next_lr_scan = self.lr_spec.tick_s
+        self.next_hr_scan = self.hr_spec.tick_s
+        self.refresh_stats: Dict[str, int] = {
+            "scans": 0, "lr_refreshes": 0, "lr_expiries": 0,
+            "hr_expirations_clean": 0, "hr_expirations_dirty": 0,
+        }
+        self.last_sweep_actions: Optional[Dict[str, List[int]]] = None
+        self.monitor_stats: Dict[str, int] = {
+            "writes_observed": 0, "migrations_triggered": 0,
+        }
+        self.search_stats: Dict[str, int] = {
+            "accesses": 0, "first_probe_hits": 0, "second_probes": 0,
+        }
+        self.energy: Dict[str, float] = {
+            "demand_j": 0.0, "migration_j": 0.0,
+            "refresh_j": 0.0, "fill_j": 0.0,
+        }
+        self.lr_data_writes = 0
+        self.hr_data_writes = 0
+        self.refresh_writes = 0
+        self.migrations_to_lr = 0
+        self.returns_to_hr = 0
+        self.dram_writebacks_total = 0
+        self.data_losses = 0
+        self.rewrite_intervals: List[float] = []
+
+    # ------------------------------------------------------------------
+    # retention clocks
+    # ------------------------------------------------------------------
+
+    def _age(self, record: dict, now: float) -> float:
+        """Seconds since the line's cells were last written."""
+        return now - max(record["insert_time"], record["last_write_time"])
+
+    def _sweep(self, now: float) -> Dict[str, List[int]]:
+        """Run all due retention sweeps; every line consults the spec."""
+        actions: Dict[str, List[int]] = {
+            "lr_refresh": [], "lr_lost": [],
+            "hr_drop_clean": [], "hr_drop_dirty": [],
+        }
+        if now >= self.next_lr_scan:
+            self.refresh_stats["scans"] += 1
+            for line, record in sorted(self.lr.resident_lines().items()):
+                age = self._age(record, now)
+                if self.lr_spec.expired(age):
+                    actions["lr_lost"].append(line)
+                    self.refresh_stats["lr_expiries"] += 1
+                elif self.lr_spec.needs_refresh(age):
+                    actions["lr_refresh"].append(line)
+                    self.refresh_stats["lr_refreshes"] += 1
+            tick = self.lr_spec.tick_s
+            self.next_lr_scan = (math.floor(now / tick) + 1.0) * tick
+            if self.next_lr_scan <= now:
+                self.next_lr_scan += tick
+        if now >= self.next_hr_scan:
+            for line, record in sorted(self.hr.resident_lines().items()):
+                age = self._age(record, now)
+                if self.hr_spec.needs_refresh(age) or self.hr_spec.expired(age):
+                    if record["dirty"]:
+                        actions["hr_drop_dirty"].append(line)
+                        self.refresh_stats["hr_expirations_dirty"] += 1
+                    else:
+                        actions["hr_drop_clean"].append(line)
+                        self.refresh_stats["hr_expirations_clean"] += 1
+            tick = self.hr_spec.tick_s
+            self.next_hr_scan = (math.floor(now / tick) + 1.0) * tick
+            if self.next_hr_scan <= now:
+                self.next_hr_scan += tick
+        return actions
+
+    def maintenance(self, now: float) -> int:
+        """Drain buffers and apply due sweeps; returns DRAM write-backs."""
+        self.hr_to_lr.drain_ready(now)
+        self.lr_to_hr.drain_ready(now)
+        if not (now >= self.next_lr_scan or now >= self.next_hr_scan):
+            return 0
+        actions = self._sweep(now)
+        self.last_sweep_actions = actions
+        writebacks = 0
+        for line in actions["lr_refresh"]:
+            record = self.lr.lookup(line)
+            if record is None:
+                continue
+            # buffer-assisted refresh: read out, write back, clock restarts
+            record["insert_time"] = now
+            self.energy["refresh_j"] += (
+                self.lr_model.data_read_energy + self.lr_model.data_write_energy
+            )
+            self.refresh_writes += 1
+        for line in actions["lr_lost"]:
+            record = self.lr.lookup(line)
+            if record is not None and record["dirty"]:
+                self.data_losses += 1
+            self.lr.invalidate(line)
+        for line in actions["hr_drop_clean"]:
+            self.hr.invalidate(line)
+        for line in actions["hr_drop_dirty"]:
+            self.energy["refresh_j"] += self.hr_model.data_read_energy
+            self.hr.invalidate(line)
+            writebacks += 1
+        self.dram_writebacks_total += writebacks
+        return writebacks
+
+    # ------------------------------------------------------------------
+    # demand path
+    # ------------------------------------------------------------------
+
+    def _locate(self, line: int, now: float) -> Tuple[Optional[str], Optional[dict]]:
+        """Which part holds the line, expiring stale residents on probe."""
+        record = self.lr.lookup(line)
+        if record is not None:
+            if self.lr_spec.expired(self._age(record, now)):
+                if record["dirty"]:
+                    self.data_losses += 1
+                self.lr.invalidate(line)
+            else:
+                return "lr", record
+        record = self.hr.lookup(line)
+        if record is not None:
+            if self.hr_spec.expired(self._age(record, now)):
+                if record["dirty"]:
+                    self.data_losses += 1
+                self.hr.invalidate(line)
+            else:
+                return "hr", record
+        return None, None
+
+    def _probe_order(self, is_write: bool) -> Tuple[str, str]:
+        """Writes expect LR (the WWS lives there); reads expect HR."""
+        return ("lr", "hr") if is_write else ("hr", "lr")
+
+    def _record_search(self, is_write: bool, hit_part: str) -> int:
+        """Mirror ``SearchSelector.record``; returns the probe count."""
+        self.search_stats["accesses"] += 1
+        first_hit = hit_part == self._probe_order(is_write)[0]
+        if not self.sequential_search:
+            if first_hit:
+                self.search_stats["first_probe_hits"] += 1
+            self.search_stats["second_probes"] += 1
+            return 2
+        if first_hit:
+            self.search_stats["first_probe_hits"] += 1
+            return 1
+        self.search_stats["second_probes"] += 1
+        return 2
+
+    def _probe_energy(self, is_write: bool, probes: int) -> float:
+        """Tag energy summed over the probed parts, in probe order."""
+        models = {"lr": self.lr_model, "hr": self.hr_model}
+        order = self._probe_order(is_write)
+        energy = models[order[0]].tag_probe_energy
+        if probes == 2:
+            energy = energy + models[order[1]].tag_probe_energy
+        return energy
+
+    def access(self, address: int, is_write: bool, now: float) -> L2AccessResult:
+        """Serve one demand access (the lockstep counterpart of the DUT's)."""
+        line = (address // self.line_size) * self.line_size
+        writebacks = self.maintenance(now)
+        part, record = self._locate(line, now)
+        probes = self._record_search(is_write, part or "miss")
+        energy = self._probe_energy(is_write, probes)
+        # both tag probes use the HR tag latency, serialized when sequential
+        latency_factor = probes if self.sequential_search else 1
+        tag_latency = latency_factor * self.hr_model.tag_array.access_latency
+
+        if part == "lr":
+            result = self._serve_lr(line, is_write, now, energy, tag_latency, record)
+        elif part == "hr":
+            result = self._serve_hr(line, is_write, now, energy, tag_latency, record)
+        else:
+            result = self._serve_miss(line, is_write, now, energy, tag_latency)
+        result.dram_writebacks += writebacks
+        result.probes = probes
+        return result
+
+    def _serve_lr(
+        self, line: int, is_write: bool, now: float, energy: float,
+        tag_latency: float, record: dict,
+    ) -> L2AccessResult:
+        if is_write and self.track_intervals and record["last_write_time"] > 0:
+            self.rewrite_intervals.append(now - record["last_write_time"])
+        if is_write:
+            self.lr.stats["writes"] += 1
+            self.lr.stats["write_hits"] += 1
+            self.lr.record_write(record, now)
+        else:
+            self.lr.stats["reads"] += 1
+            self.lr.stats["read_hits"] += 1
+        self.lr.touch(line)
+        if is_write:
+            energy += self.lr_model.data_write_energy
+            latency = tag_latency + self.lr_model.data_array.write_latency
+            self.lr_data_writes += 1
+        else:
+            energy += self.lr_model.data_read_energy
+            latency = tag_latency + self.lr_model.data_array.read_latency
+        self.energy["demand_j"] += energy
+        return L2AccessResult(hit=True, part="lr", latency_s=latency, energy_j=energy)
+
+    def _serve_hr(
+        self, line: int, is_write: bool, now: float, energy: float,
+        tag_latency: float, record: dict,
+    ) -> L2AccessResult:
+        if not is_write:
+            self.hr.stats["reads"] += 1
+            self.hr.stats["read_hits"] += 1
+            self.hr.touch(line)
+            energy += self.hr_model.data_read_energy
+            self.energy["demand_j"] += energy
+            return L2AccessResult(
+                hit=True, part="hr",
+                latency_s=tag_latency + self.hr_model.data_array.read_latency,
+                energy_j=energy,
+            )
+        # the monitor consults the counter BEFORE this write is recorded
+        self.monitor_stats["writes_observed"] += 1
+        if record["write_count"] >= self.write_threshold:
+            self.monitor_stats["migrations_triggered"] += 1
+            return self._migrate_and_write(line, now, energy, tag_latency)
+        self.hr.stats["writes"] += 1
+        self.hr.stats["write_hits"] += 1
+        self.hr.record_write(record, now)
+        self.hr.touch(line)
+        energy += self.hr_model.data_write_energy
+        latency = tag_latency + self.hr_model.data_array.write_latency
+        self.hr_data_writes += 1
+        self.energy["demand_j"] += energy
+        return L2AccessResult(
+            hit=True, part="hr", latency_s=latency, energy_j=energy
+        )
+
+    def _migrate_and_write(
+        self, line: int, now: float, energy: float, tag_latency: float
+    ) -> L2AccessResult:
+        """HR write hit above threshold: move the line to LR, write there."""
+        writebacks = 0
+        migration_energy = self.hr_model.data_read_energy  # read out of HR
+        # the HR demand write-hit is accounted before the line leaves
+        self.hr.stats["writes"] += 1
+        self.hr.stats["write_hits"] += 1
+        record = self.hr.lookup(line)
+        self.hr.record_write(record, now)
+        self.hr.touch(line)
+        self.hr.extract(line)
+        writebacks += self._buffer_push(self.hr_to_lr, line, True, now)
+        self.migrations_to_lr += 1
+
+        evicted_line, evicted_dirty = self.lr.fill(line, now, dirty=True)
+        migration_energy += self.lr_model.data_write_energy
+        self.lr_data_writes += 1
+        if evicted_line is not None:
+            writebacks += self._return_to_hr(evicted_line, evicted_dirty, now)
+        # accumulation order mirrors the DUT: _return_to_hr's migration
+        # energy lands first, then this access's own migration energy
+        self.energy["demand_j"] += energy
+        self.energy["migration_j"] += migration_energy
+        return L2AccessResult(
+            hit=True, part="lr",
+            latency_s=tag_latency + self.lr_model.data_array.write_latency,
+            energy_j=energy + migration_energy,
+            dram_writebacks=writebacks,
+            migrated=True,
+        )
+
+    def _return_to_hr(self, victim_line: int, victim_dirty: bool, now: float) -> int:
+        """An LR eviction returns to HR through the LR->HR buffer."""
+        writebacks = 0
+        self.energy["migration_j"] += self.lr_model.data_read_energy
+        writebacks += self._buffer_push(self.lr_to_hr, victim_line, victim_dirty, now)
+        self.returns_to_hr += 1
+        evicted_line, evicted_dirty = self.hr.fill(
+            victim_line, now, dirty=victim_dirty
+        )
+        del evicted_line  # the HR victim's address itself is not needed
+        self.energy["migration_j"] += self.hr_model.data_write_energy
+        self.hr_data_writes += 1
+        if evicted_dirty:
+            writebacks += 1
+            self.dram_writebacks_total += 1
+        return writebacks
+
+    def _buffer_push(
+        self, buffer: _RefBuffer, line: int, dirty: bool, now: float
+    ) -> int:
+        """Push into a swap buffer, forcing the oldest entry out if full."""
+        writebacks = 0
+        if buffer.full:
+            _, popped_dirty = buffer.force_pop()
+            if popped_dirty:
+                writebacks += 1
+                self.dram_writebacks_total += 1
+        buffer.push(line, dirty, now)
+        return writebacks
+
+    def _serve_miss(
+        self, line: int, is_write: bool, now: float, energy: float,
+        tag_latency: float,
+    ) -> L2AccessResult:
+        if is_write:
+            self.hr.stats["writes"] += 1
+        else:
+            self.hr.stats["reads"] += 1
+        evicted_line, evicted_dirty = self.hr.fill(line, now, dirty=is_write)
+        del evicted_line
+        fill_energy = self.hr_model.fill_energy
+        self.hr_data_writes += 1
+        writebacks = 1 if evicted_dirty else 0
+        self.dram_writebacks_total += writebacks
+        self.energy["demand_j"] += energy
+        self.energy["fill_j"] += fill_energy
+        return L2AccessResult(
+            hit=False, part="miss",
+            latency_s=tag_latency + self.hr_model.data_array.read_latency,
+            energy_j=energy + fill_energy,
+            dram_fetch=True,
+            dram_writebacks=writebacks,
+        )
+
+    # ------------------------------------------------------------------
+    # comparison surface
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Dict[str, float]:
+        """Flat counter view diffed against the DUT's after every access."""
+        flat: Dict[str, float] = {
+            "l2.lr_data_writes": self.lr_data_writes,
+            "l2.hr_data_writes": self.hr_data_writes,
+            "l2.refresh_writes": self.refresh_writes,
+            "l2.migrations_to_lr": self.migrations_to_lr,
+            "l2.returns_to_hr": self.returns_to_hr,
+            "l2.dram_writebacks_total": self.dram_writebacks_total,
+            "l2.data_losses": self.data_losses,
+            "l2.rewrite_intervals": len(self.rewrite_intervals),
+        }
+        for part, array in (("lr", self.lr), ("hr", self.hr)):
+            for key, value in array.stats.items():
+                flat[f"{part}.{key}"] = value
+        for name, buffer in (
+            ("hr_to_lr", self.hr_to_lr), ("lr_to_hr", self.lr_to_hr)
+        ):
+            for key, value in buffer.stats.items():
+                flat[f"buffer.{name}.{key}"] = value
+            flat[f"buffer.{name}.occupancy"] = len(buffer.entries)
+        for key, value in self.refresh_stats.items():
+            flat[f"refresh.{key}"] = value
+        for key, value in self.monitor_stats.items():
+            flat[f"monitor.{key}"] = value
+        for key, value in self.search_stats.items():
+            flat[f"search.{key}"] = value
+        for key, value in self.energy.items():
+            flat[f"energy.{key}"] = value
+        return flat
+
+    def state_snapshot(self) -> dict:
+        """Same shape as ``TwoPartSTTL2.state_snapshot`` for direct diffing."""
+        parts = {}
+        for part_name, array in (("lr", self.lr), ("hr", self.hr)):
+            lines = {}
+            for line, record in sorted(array.resident_lines().items()):
+                lines[f"{line:#x}"] = {
+                    "dirty": record["dirty"],
+                    "write_count": record["write_count"],
+                    "insert_time": record["insert_time"],
+                    "last_write_time": record["last_write_time"],
+                }
+            parts[part_name] = lines
+        return {
+            "parts": parts,
+            "buffers": {
+                "hr_to_lr": self.hr_to_lr.snapshot(),
+                "lr_to_hr": self.lr_to_hr.snapshot(),
+            },
+        }

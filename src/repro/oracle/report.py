@@ -1,0 +1,141 @@
+"""Divergence-report documents: build, validate, round-trip.
+
+The lockstep runner's verdict is serialized as one JSON document so CI can
+archive it, diff it byte-for-byte between runs (the ``diff-smoke`` job
+renders it twice with :func:`repro.io.canonical_json` and compares), and a
+developer can replay a shrunk reproducer from the file alone.  The schema
+is deliberately flat and fully JSON-native — no floats-as-strings, no
+tuples — so ``canonical_json(load_json(path)) == canonical_json(report)``
+holds exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import OracleError
+
+#: Version stamped into every divergence report.
+ORACLE_SCHEMA_VERSION = 1
+
+#: Document discriminator (other repro JSON artifacts carry other kinds).
+REPORT_KIND = "oracle-diff"
+
+#: Required keys of one divergence record and their accepted types.
+_DIVERGENCE_KEYS = ("index", "now_s", "address", "is_write", "fields")
+
+
+def build_report(
+    *,
+    profile: str,
+    config: str,
+    seed: int,
+    accesses: int,
+    dt_s: float,
+    mutant: Optional[str],
+    checked_accesses: int,
+    divergence: Optional[dict],
+    shrunk: Optional[dict],
+    counters: Dict[str, Any],
+) -> dict:
+    """Assemble the canonical divergence-report document."""
+    return {
+        "schema_version": ORACLE_SCHEMA_VERSION,
+        "kind": REPORT_KIND,
+        "profile": profile,
+        "config": config,
+        "seed": seed,
+        "accesses": accesses,
+        "dt_s": dt_s,
+        "mutant": mutant,
+        "checked_accesses": checked_accesses,
+        "divergence": divergence,
+        "shrunk": shrunk,
+        "counters": counters,
+    }
+
+
+def _validate_divergence(record: Any, where: str) -> None:
+    if not isinstance(record, dict):
+        raise OracleError(f"{where} must be an object, got {type(record).__name__}")
+    for key in _DIVERGENCE_KEYS:
+        if key not in record:
+            raise OracleError(f"{where} is missing key {key!r}")
+    if not isinstance(record["index"], int) or record["index"] < 0:
+        raise OracleError(f"{where}.index must be a non-negative integer")
+    if not isinstance(record["fields"], list) or not record["fields"]:
+        raise OracleError(f"{where}.fields must be a non-empty list")
+    for position, field in enumerate(record["fields"]):
+        if not isinstance(field, dict) or "field" not in field:
+            raise OracleError(
+                f"{where}.fields[{position}] must be an object with a 'field' key"
+            )
+        if "dut" not in field or "ref" not in field:
+            raise OracleError(
+                f"{where}.fields[{position}] must carry both 'dut' and 'ref' values"
+            )
+
+
+def validate_report(payload: Any) -> dict:
+    """Check a (possibly re-loaded) report document; return it unchanged.
+
+    Raises :class:`~repro.errors.OracleError` naming the first offending
+    field, so a truncated CI artifact or a hand-edited reproducer file
+    fails loudly instead of silently reading as "no divergence".
+    """
+    if not isinstance(payload, dict):
+        raise OracleError(f"report must be an object, got {type(payload).__name__}")
+    if payload.get("schema_version") != ORACLE_SCHEMA_VERSION:
+        raise OracleError(
+            f"unsupported oracle schema version "
+            f"{payload.get('schema_version')!r} (expected {ORACLE_SCHEMA_VERSION})"
+        )
+    if payload.get("kind") != REPORT_KIND:
+        raise OracleError(
+            f"not an oracle report: kind={payload.get('kind')!r} "
+            f"(expected {REPORT_KIND!r})"
+        )
+    for key, kinds in (
+        ("profile", str),
+        ("config", str),
+        ("seed", int),
+        ("accesses", int),
+        ("dt_s", (int, float)),
+        ("checked_accesses", int),
+        ("counters", dict),
+    ):
+        if key not in payload:
+            raise OracleError(f"report is missing key {key!r}")
+        if not isinstance(payload[key], kinds):
+            raise OracleError(
+                f"report key {key!r} has type {type(payload[key]).__name__}"
+            )
+    if "mutant" not in payload or not isinstance(payload["mutant"], (str, type(None))):
+        raise OracleError("report key 'mutant' must be a string or null")
+    if "divergence" not in payload:
+        raise OracleError("report is missing key 'divergence'")
+    if payload["divergence"] is not None:
+        _validate_divergence(payload["divergence"], "divergence")
+    shrunk = payload.get("shrunk")
+    if shrunk is not None:
+        if not isinstance(shrunk, dict):
+            raise OracleError("report key 'shrunk' must be an object or null")
+        accesses = shrunk.get("accesses")
+        if not isinstance(accesses, list) or not accesses:
+            raise OracleError("shrunk.accesses must be a non-empty list")
+        for position, access in enumerate(accesses):
+            if (
+                not isinstance(access, list)
+                or len(access) != 3
+                or not isinstance(access[0], int)
+                or not isinstance(access[1], bool)
+                or not isinstance(access[2], (int, float))
+            ):
+                raise OracleError(
+                    f"shrunk.accesses[{position}] must be "
+                    f"[address, is_write, now_s]"
+                )
+        _validate_divergence(shrunk.get("divergence"), "shrunk.divergence")
+        if payload["divergence"] is None:
+            raise OracleError("report carries a shrunk reproducer but no divergence")
+    return payload

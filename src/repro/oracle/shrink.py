@@ -1,0 +1,73 @@
+"""Delta-debugging input reduction for divergence reproducers.
+
+Classic ``ddmin`` (Zeller & Hildebrandt) over an access sequence: starting
+from a failing sequence, repeatedly try to remove chunks (at progressively
+finer granularity) while the lockstep runner still diverges.  The result
+is **1-minimal**: removing any single remaining access makes the
+divergence disappear, which is exactly the property the oracle's
+minimality tests assert.
+
+Timestamps travel with their accesses — candidate subsequences keep the
+original ``now`` values, so the timing relationship that provoked the
+divergence (refresh windows, buffer drain deadlines) is preserved while
+irrelevant accesses drop out.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import OracleError
+
+Access = Tuple[int, bool, float]
+
+
+def shrink_sequence(
+    sequence: Sequence[Access],
+    fails: Callable[[List[Access]], bool],
+    max_evaluations: int = 10_000,
+) -> List[Access]:
+    """Reduce ``sequence`` to a 1-minimal subsequence where ``fails`` holds.
+
+    ``fails(candidate)`` must return True when the candidate still
+    reproduces the divergence (on fresh models).  The input sequence
+    itself must fail; :class:`~repro.errors.OracleError` is raised
+    otherwise, and when ``max_evaluations`` predicate runs are exhausted
+    (a safety valve — a diverging pair that flickers nondeterministically
+    would otherwise loop).
+    """
+    current = list(sequence)
+    if not current:
+        raise OracleError("cannot shrink an empty sequence")
+    evaluations = 0
+
+    def check(candidate: List[Access]) -> bool:
+        nonlocal evaluations
+        evaluations += 1
+        if evaluations > max_evaluations:
+            raise OracleError(
+                f"shrinker exceeded {max_evaluations} predicate evaluations"
+            )
+        return fails(candidate)
+
+    if not check(current):
+        raise OracleError("the input sequence does not diverge; nothing to shrink")
+
+    granularity = 2
+    while len(current) >= 2:
+        chunk = len(current) // granularity
+        reduced = False
+        # try dropping each chunk-sized slice (test on the complement)
+        for start in range(0, len(current), chunk):
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and check(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if reduced:
+            continue
+        if granularity >= len(current):
+            break  # every single-access removal was tried: 1-minimal
+        granularity = min(granularity * 2, len(current))
+    return current

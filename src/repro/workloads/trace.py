@@ -99,6 +99,25 @@ class Trace:
                 is_texture=bool(flags & FLAG_TEXTURE),
             )
 
+    def lockstep_sequence(self, dt_s: float) -> List[Tuple[int, bool, float]]:
+        """``(address, is_write, now)`` triples on a fixed ``dt_s`` grid.
+
+        The differential oracle replays L2-bound accesses directly (no L1,
+        no SM interleaving), so each trace record is stamped with a
+        deterministic timestamp ``(i + 1) * dt_s``.  Choosing ``dt_s``
+        close to the LR retention tick makes refresh sweeps fire between
+        most consecutive accesses, which is exactly the timing pressure
+        the oracle wants to diff.
+        """
+        if dt_s <= 0:
+            raise TraceError(f"lockstep dt must be positive, got {dt_s}")
+        addresses = self.address.tolist()
+        writes = ((self.flags & FLAG_WRITE) != 0).tolist()
+        return [
+            (address, is_write, (i + 1) * dt_s)
+            for i, (address, is_write) in enumerate(zip(addresses, writes))
+        ]
+
     def slice(self, start: int, stop: int) -> "Trace":
         """Sub-trace [start:stop) (phase analysis)."""
         if not 0 <= start < stop <= len(self):

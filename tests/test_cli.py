@@ -73,3 +73,56 @@ class TestOtherCommands:
 
     def test_simulate_unknown_config(self, capsys):
         assert main(["simulate", "bfs", "nope"]) == 2
+
+
+class TestDiffCommand:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(["diff", "lbm", "--config", "oracle-small",
+                     "--accesses", "400", "--out", str(out)])
+        assert code == 0
+        assert "OK (models agree" in capsys.readouterr().out
+        from repro.oracle import validate_report
+
+        report = validate_report(json.loads(out.read_text()))
+        assert report["divergence"] is None
+        assert report["checked_accesses"] == 400
+
+    def test_mutant_diverges_and_shrinks(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(["diff", "lbm", "--config", "oracle-small",
+                     "--accesses", "2000", "--mutant", "drop-lr-return",
+                     "--shrink", "--out", str(out)])
+        assert code == 1
+        stdout = capsys.readouterr().out
+        assert "DIVERGED" in stdout
+        assert "shrunk to" in stdout
+        report = json.loads(out.read_text())
+        assert report["mutant"] == "drop-lr-return"
+        assert 1 <= len(report["shrunk"]["accesses"]) <= 50
+
+    def test_report_is_byte_reproducible(self, tmp_path, capsys):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main(["diff", "cfd", "--config", "oracle-small",
+                         "--seed", "3", "--accesses", "300",
+                         "--out", str(path)]) == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_trace_out_records_divergence_event(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.json"
+        code = main(["diff", "lbm", "--config", "oracle-small",
+                     "--accesses", "200", "--mutant", "probe-order",
+                     "--trace-out", str(trace_file)])
+        assert code == 1
+        trace = json.loads(trace_file.read_text())
+        names = {e.get("name") for e in trace["traceEvents"]}
+        assert "oracle.divergence" in names
+
+    def test_unknown_config_exits_two(self, capsys):
+        assert main(["diff", "lbm", "--config", "nope"]) == 2
+        assert "unknown config" in capsys.readouterr().err
+
+    def test_non_twopart_config_exits_two(self, capsys):
+        assert main(["diff", "lbm", "--config", "baseline"]) == 2
+        assert "two-part" in capsys.readouterr().err

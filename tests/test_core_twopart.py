@@ -116,6 +116,23 @@ class TestLREvictionReturnsToHR:
             l2.access(0x5000, is_write=True, now=now)
         assert l2.lr_write_share > 0.9
 
+    def test_buffer_overflow_writeback_counted_once(self):
+        """Regression: an LR->HR buffer overflow used to be double-counted.
+
+        ``_buffer_push`` already adds the forced dirty pop to
+        ``dram_writebacks_total``; ``_return_to_hr`` then added its summed
+        ``writebacks`` (which includes that overflow) a second time.
+        """
+        l2 = make_small_l2(buffer_lines=1)
+        # occupy the single lr->hr slot with a dirty in-flight entry
+        assert l2._buffer_push(l2.lr_to_hr, 0x30000, dirty=True, now=1e-9) == 0
+        before = l2.dram_writebacks_total
+        # returning another victim overflows the buffer (one forced
+        # write-back) and fills an empty HR set (no dirty eviction)
+        writebacks = l2._return_to_hr(0x40000, victim_dirty=True, now=2e-9)
+        assert writebacks == 1
+        assert l2.dram_writebacks_total == before + 1
+
 
 class TestRetentionBehaviour:
     def test_lr_block_expires_without_refresh(self):

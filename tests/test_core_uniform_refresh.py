@@ -152,3 +152,79 @@ class TestRefreshEngine:
         lr, _, engine = self.make_engine()
         actions = engine.sweep(100 * US)
         assert actions.lr_refresh == [] and actions.lr_lost == []
+
+    def test_last_actions_seam(self):
+        """sweep() publishes its decisions for external observers."""
+        lr, _, engine = self.make_engine()
+        lr.access(0x100, is_write=True, now=0.0)
+        actions = engine.sweep(36 * US)
+        assert engine.last_actions is actions
+        assert engine.last_actions.as_dict()["lr_refresh"] == [0x100]
+
+
+class TestRefreshCadence:
+    """Sweep rescheduling must stay on the tick grid (no phase drift)."""
+
+    def make_engine(self, lr_bits=2, lr_ret=10 * US):
+        # 2-bit LR counter: tick = lr_ret / 4, refresh window is the last
+        # two ticks, i.e. ages in [lr_ret / 2, lr_ret)
+        lr = SetAssociativeCache(4 * KB, 2, 256)
+        hr = SetAssociativeCache(16 * KB, 4, 256)
+        engine = RefreshEngine(
+            lr, hr,
+            RetentionCounterSpec(lr_bits, lr_ret),
+            RetentionCounterSpec(2, 40 * MS),
+        )
+        return lr, engine
+
+    def test_late_sweep_reschedules_on_grid(self):
+        _, engine = self.make_engine()  # LR tick 2.5us
+        engine.sweep(3 * US)  # 0.5us late
+        assert engine._next_lr_scan == pytest.approx(5 * US)
+        engine.sweep(5.1 * US)
+        assert engine._next_lr_scan == pytest.approx(7.5 * US)
+
+    def test_hr_reschedules_on_grid(self):
+        _, engine = self.make_engine()  # HR tick 10ms
+        engine.sweep(13 * MS)
+        assert engine._next_hr_scan == pytest.approx(20 * MS)
+
+    def test_sweep_on_grid_point_advances(self):
+        """A sweep exactly on a grid point must not re-arm for the same time."""
+        _, engine = self.make_engine()
+        engine.sweep(2.5 * US)
+        assert engine._next_lr_scan > 2.5 * US
+
+    def test_skipped_window_expiry_regression(self):
+        """Re-anchoring at call time let the refresh window be stepped over.
+
+        Retention 10us, tick 2.5us, refresh window [5us, 10us).  With the
+        pre-fix ``now + tick`` rescheduling, a sweep 0.9 ticks late
+        (at 4.75us) re-armed for 7.25us, so a maintenance opportunity at
+        7.0us — inside the refresh window — was skipped and the line
+        silently expired at the next call (10.25us).  Grid rescheduling
+        keeps 7.0us due and the line is refreshed in its window.
+        """
+        lr, engine = self.make_engine()
+        lr.access(0x100, is_write=True, now=0.0)
+
+        # late sweep, below the refresh window: no action either way
+        assert engine.due(4.75 * US)
+        actions = engine.sweep(4.75 * US)
+        assert actions.lr_refresh == [] and actions.lr_lost == []
+
+        # 7.0us is in the window; pre-fix code had re-armed for 7.25us
+        # and skipped this opportunity entirely
+        assert engine.due(7.0 * US)
+        actions = engine.sweep(7.0 * US)
+        assert actions.lr_refresh == [0x100]
+        assert actions.lr_lost == []
+        # apply the refresh the way the owning cache does: restart the clock
+        block = lr.block_at(0x100)
+        block.insert_time = 7.0 * US
+        block.last_write_time = 7.0 * US
+
+        # after the in-window refresh nothing expires at the next sweep
+        actions = engine.sweep(10.25 * US)
+        assert actions.lr_lost == []
+        assert engine.stats.lr_expiries == 0

@@ -117,6 +117,36 @@ class TestDRAMModel:
             dram.access(i * 256, is_write=False, now=0.0)
         assert 0.0 <= dram.utilization(1e-5) <= 1.0
 
+    def test_utilization_idle_gap_regression(self):
+        """One late request must not read as a ~100% busy channel.
+
+        The pre-fix implementation summed clamped ``_busy_until``
+        *timestamps*: a single request served at t=0.9s against a 1s run
+        reported the channel ~90% busy although it was busy for one
+        service time.  Utilization must reflect accumulated service time.
+        """
+        dram = DRAMModel(num_channels=2)
+        elapsed = 1.0
+        dram.access(0x0, is_write=False, now=0.9)  # channel 0, one transfer
+        expected = dram.service_time_s / (dram.num_channels * elapsed)
+        assert dram.utilization(elapsed) == pytest.approx(expected)
+        assert dram.utilization(elapsed) < 0.01
+
+    def test_utilization_excludes_unfinished_tail(self):
+        """Service queued past the measurement horizon is not busy time."""
+        dram = DRAMModel(num_channels=1)
+        for i in range(50):
+            dram.access(i * 0x10000, is_write=False, now=0.0)
+        # horizon cut mid-queue: busy time can never exceed the horizon
+        horizon = 10 * dram.service_time_s
+        assert dram.utilization(horizon) == pytest.approx(1.0)
+
+    def test_utilization_reset(self):
+        dram = DRAMModel(num_channels=1)
+        dram.access(0x0, is_write=False, now=0.0)
+        dram.reset()
+        assert dram.utilization(1.0) == 0.0
+
     def test_rejects_bad_config(self):
         with pytest.raises(ConfigurationError):
             DRAMModel(num_channels=0)
