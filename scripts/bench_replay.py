@@ -44,6 +44,11 @@ def main(argv=None) -> int:
                         help="short scenarios / fewer repeats (CI smoke)")
     parser.add_argument("--repeats", type=int, default=None,
                         help="override repeat count (default: 3, quick: 2)")
+    parser.add_argument("--engines", nargs="+", default=["object"],
+                        choices=["object", "soa"], metavar="ENGINE",
+                        help="replay engines to time, each scenario once "
+                             "per engine (default: object only; the "
+                             "committed baseline records both)")
     parser.add_argument("--out", metavar="FILE", default=None,
                         help="write the bench document to FILE")
     parser.add_argument("--baseline", metavar="FILE", default=None,
@@ -64,6 +69,7 @@ def main(argv=None) -> int:
             quick=args.quick,
             repeats=args.repeats,
             experiments=args.experiments,
+            engines=args.engines,
         )
         validate_bench(document)
     except BenchmarkError as error:
@@ -73,7 +79,8 @@ def main(argv=None) -> int:
     for record in document["scenarios"]:
         print(
             f"{record['workload']}/{record['config']} "
-            f"len={record['trace_length']} seed={record['seed']}: "
+            f"len={record['trace_length']} seed={record['seed']} "
+            f"engine={record.get('engine', 'object')}: "
             f"{record['requests_per_s']:.0f} req/s "
             f"(best {record['best_wall_s']:.3f}s over {record['repeats']} runs) "
             f"digest={record['result_sha256'][:12]}"

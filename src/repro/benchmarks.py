@@ -27,7 +27,7 @@ Document schema (``BENCH_SCHEMA_VERSION = 1``)::
       "quick": false,
       "host": {"platform": ..., "python": ..., "machine": ..., "cpus": N},
       "scenarios": [
-        {"workload", "config", "trace_length", "seed", "repeats",
+        {"workload", "config", "trace_length", "seed", "engine", "repeats",
          "best_wall_s", "mean_wall_s", "requests_per_s", "result_sha256"},
         ...
       ],
@@ -48,7 +48,6 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.config import all_configs
 from repro.errors import ReproError
-from repro.gpu.simulator import GPUSimulator
 from repro.io import canonical_json, simulation_result_to_dict, write_json_atomic
 from repro.workloads import build_workload
 
@@ -114,15 +113,22 @@ def result_digest(result: Any) -> str:
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
-def run_scenario(scenario: BenchScenario, repeats: int = 3) -> Dict[str, Any]:
-    """Time one pinned scenario; returns its JSON-safe record.
+def run_scenario(
+    scenario: BenchScenario, repeats: int = 3, engine: str = "object"
+) -> Dict[str, Any]:
+    """Time one pinned scenario on one engine; returns its JSON-safe record.
 
     The workload is generated once (trace generation is not the replay hot
     path); each repeat builds a fresh simulator — replay mutates cache
     state, so reuse would measure a warm, different simulation.  The best
     wall time is reported (least scheduler noise); all repeats must produce
     the same result digest or :class:`BenchmarkError` is raised.
+    ``engine`` selects the replay backend (``"object"`` or ``"soa"``, see
+    docs/engine.md); both must produce identical digests on the pinned
+    scenarios, which is exactly what comparing their records proves.
     """
+    from repro.engine import make_simulator
+
     if repeats < 1:
         raise BenchmarkError(f"repeats must be >= 1, got {repeats}")
     configs = all_configs()
@@ -138,7 +144,7 @@ def run_scenario(scenario: BenchScenario, repeats: int = 3) -> Dict[str, Any]:
     walls: List[float] = []
     digests: List[str] = []
     for _ in range(repeats):
-        simulator = GPUSimulator(config, workload)
+        simulator = make_simulator(config, workload, engine=engine)
         start = time.perf_counter()
         result = simulator.run()
         walls.append(time.perf_counter() - start)
@@ -153,6 +159,7 @@ def run_scenario(scenario: BenchScenario, repeats: int = 3) -> Dict[str, Any]:
         "config": scenario.config,
         "trace_length": scenario.trace_length,
         "seed": scenario.seed,
+        "engine": engine,
         "repeats": repeats,
         "best_wall_s": best,
         "mean_wall_s": sum(walls) / len(walls),
@@ -187,8 +194,16 @@ def run_bench(
     repeats: Optional[int] = None,
     scenarios: Optional[Sequence[BenchScenario]] = None,
     experiments: Optional[Iterable[str]] = None,
+    engines: Sequence[str] = ("object",),
 ) -> Dict[str, Any]:
-    """Run the full (or quick) pinned benchmark; returns the bench document."""
+    """Run the full (or quick) pinned benchmark; returns the bench document.
+
+    ``engines`` lists the replay backends to time; every scenario is run
+    once per engine, in engine order.  The default times only the
+    reference ``object`` engine, matching pre-engine bench documents;
+    pass ``("object", "soa")`` to record the committed per-engine
+    comparison (see docs/performance.md).
+    """
     if scenarios is None:
         scenarios = QUICK_SCENARIOS if quick else PINNED_SCENARIOS
     if repeats is None:
@@ -198,7 +213,11 @@ def run_bench(
         "kind": BENCH_KIND,
         "quick": quick,
         "host": host_metadata(),
-        "scenarios": [run_scenario(s, repeats=repeats) for s in scenarios],
+        "scenarios": [
+            run_scenario(s, repeats=repeats, engine=engine)
+            for engine in engines
+            for s in scenarios
+        ],
     }
     if experiments is not None:
         document["experiments"] = time_experiments(experiments)
@@ -246,13 +265,24 @@ def validate_bench(document: Mapping[str, Any]) -> None:
                 )
         if record["requests_per_s"] <= 0 or record["best_wall_s"] <= 0:
             raise BenchmarkError(f"non-positive timing in scenario: {record!r}")
+        # optional: absent in pre-engine documents, meaning "object"
+        if not isinstance(record.get("engine", "object"), str):
+            raise BenchmarkError(
+                f"scenario field 'engine' has wrong type: {record['engine']!r}"
+            )
 
 
 def _scenario_key(record: Mapping[str, Any]) -> str:
-    return (
+    key = (
         f"{record['workload']}/{record['config']}/"
         f"{record['trace_length']}/s{record['seed']}"
     )
+    # pre-engine documents carry no engine field; suffix only non-default
+    # engines so old and new object-engine records match each other
+    engine = record.get("engine", "object")
+    if engine != "object":
+        key += f"/{engine}"
+    return key
 
 
 def compare_bench(

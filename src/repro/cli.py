@@ -31,7 +31,6 @@ from repro.config import all_configs
 from repro.experiments.common import DEFAULT_TRACE_LENGTH
 from repro.experiments.parallel import run_battery
 from repro.experiments.runner import EXPERIMENTS
-from repro.gpu.simulator import simulate
 from repro.workloads.profiles import PROFILES
 from repro.workloads.suite import build_workload, suite_names
 
@@ -108,17 +107,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     workload = build_workload(
         args.benchmark, num_accesses=args.trace_length, seed=args.seed
     )
+    from repro.engine import make_simulator
+    from repro.errors import ConfigurationError
+
     if args.trace:
-        from repro.gpu.simulator import GPUSimulator
         from repro.tracing import TraceCollector
 
         tracer = TraceCollector(sample_every=args.trace_sample)
-        result = GPUSimulator(
-            configs[args.config], workload, tracer=tracer
-        ).run()
     else:
         tracer = None
-        result = simulate(configs[args.config], workload)
+    try:
+        # with --trace the registry falls back to (or, for an explicit
+        # --engine soa, refuses with) the object engine: tracing is an
+        # object-engine feature
+        simulator = make_simulator(
+            configs[args.config], workload, engine=args.engine, tracer=tracer
+        )
+    except ConfigurationError as exc:
+        print(f"repro-sttgpu simulate: {exc}", file=sys.stderr)
+        return 2
+    result = simulator.run()
     print(f"benchmark      : {result.workload}")
     print(f"config         : {result.config}")
     print(f"IPC            : {result.ipc:.2f} (bound by {result.bound_by})")
@@ -245,6 +253,7 @@ def _cmd_diff(args: argparse.Namespace) -> int:
             shrink=args.shrink,
             mutant=args.mutant,
             tracer=tracer,
+            engine=args.engine,
         )
         validate_report(report)
     except OracleError as exc:
@@ -253,7 +262,7 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     divergence = report["divergence"]
     print(f"benchmark      : {report['profile']} "
           f"({report['accesses']} accesses, seed {report['seed']})")
-    print(f"config         : {report['config']}"
+    print(f"config         : {report['config']} [engine {report['engine']}]"
           + (f" [mutant {report['mutant']}]" if report["mutant"] else ""))
     print(f"checked        : {report['checked_accesses']} accesses in lockstep")
     if divergence is not None:
@@ -331,6 +340,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("config", help="baseline | stt-baseline | C1 | C2 | C3")
     p_sim.add_argument("--trace-length", type=int, default=DEFAULT_TRACE_LENGTH)
     p_sim.add_argument("--seed", type=int, default=0)
+    from repro.engine import ENGINES
+
+    p_sim.add_argument("--engine", choices=ENGINES, default=None,
+                       help="replay engine (default: soa where supported, "
+                            "object otherwise; see docs/engine.md)")
     p_sim.add_argument("--trace", action="store_true",
                        help="collect an execution trace (Chrome/Perfetto JSON)")
     p_sim.add_argument("--trace-sample", type=int, default=1, metavar="N",
@@ -385,6 +399,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument("--mutant", default=None, choices=sorted(MUTANTS),
                         help="run a deliberately broken DUT variant "
                              "(oracle self-test / shrinking demo)")
+    p_diff.add_argument("--engine", choices=ENGINES, default="object",
+                        help="which production L2 backend to diff against "
+                             "the naive reference (default object; "
+                             "see docs/engine.md)")
     p_diff.add_argument("--out", metavar="FILE", default=None,
                         help="write the JSON divergence report to FILE")
     p_diff.add_argument("--trace-out", metavar="FILE", default=None,

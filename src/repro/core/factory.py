@@ -19,6 +19,7 @@ def build_l2(
     track_intervals: bool = False,
     tech: TechnologyNode = TECH_40NM,
     tracer: Optional[TraceCollector] = None,
+    engine: str = "object",
 ) -> L2Interface:
     """Instantiate the L2 described by ``config`` at technology ``tech``.
 
@@ -27,10 +28,29 @@ def build_l2(
     ``tracer`` (a :class:`~repro.tracing.TraceCollector`) threads the
     observability layer through the built cache and its subcomponents;
     ``None`` keeps every instrumentation site on the shared no-op
-    collector.
+    collector.  ``engine`` selects the simulation backend: ``"object"``
+    (the reference per-block model) or ``"soa"`` (the batched
+    structure-of-arrays model, see docs/engine.md); both produce
+    byte-identical results where the SoA engine is supported.
     """
+    if engine == "object":
+        uniform_cls = UniformL2
+        twopart_cls = TwoPartSTTL2
+    elif engine == "soa":
+        # imported lazily: repro.engine depends on this module
+        from repro.engine.soa_l2 import SoaTwoPartL2, SoaUniformL2
+
+        if config.kind == "stt-relaxed":
+            raise ConfigurationError(
+                "the soa engine does not support the stt-relaxed L2; "
+                "use engine='object'"
+            )
+        uniform_cls = SoaUniformL2
+        twopart_cls = SoaTwoPartL2
+    else:
+        raise ConfigurationError(f"unknown engine {engine!r}")
     if config.kind == "sram":
-        return UniformL2(
+        return uniform_cls(
             config.main.capacity_bytes,
             config.main.associativity,
             config.main.line_size,
@@ -39,7 +59,7 @@ def build_l2(
             tracer=tracer,
         )
     if config.kind == "stt":
-        return UniformL2(
+        return uniform_cls(
             config.main.capacity_bytes,
             config.main.associativity,
             config.main.line_size,
@@ -60,7 +80,7 @@ def build_l2(
         )
     if config.kind == "twopart":
         assert config.lr is not None  # validated by L2Config
-        return TwoPartSTTL2(
+        return twopart_cls(
             hr_capacity_bytes=config.main.capacity_bytes,
             hr_associativity=config.main.associativity,
             lr_capacity_bytes=config.lr.capacity_bytes,

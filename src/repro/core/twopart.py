@@ -51,6 +51,11 @@ HR_COUNTER_BITS = 2
 class TwoPartSTTL2(L2Interface):
     """The paper's two-part STT-RAM last-level cache."""
 
+    #: Behavioural cache-array class used for both parts.  Engine backends
+    #: (``repro.engine``) subclass this L2 and swap in an array with the
+    #: same constructor signature and access semantics (docs/engine.md).
+    ARRAY_FACTORY = SetAssociativeCache
+
     def __init__(
         self,
         hr_capacity_bytes: int,
@@ -96,13 +101,13 @@ class TwoPartSTTL2(L2Interface):
             sequential=sequential_search, tracer=self.tracer
         )
 
-        self.hr_array = SetAssociativeCache(
+        self.hr_array = self.ARRAY_FACTORY(
             hr_capacity_bytes, hr_associativity, line_size,
             name=f"{name}-hr",
             write_counter_saturation=self.monitor.saturation,
             tracer=self.tracer,
         )
-        self.lr_array = SetAssociativeCache(
+        self.lr_array = self.ARRAY_FACTORY(
             lr_capacity_bytes, lr_associativity, line_size, name=f"{name}-lr",
             tracer=self.tracer,
         )

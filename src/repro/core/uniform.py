@@ -31,6 +31,10 @@ class UniformL2(L2Interface):
         ``"sram"`` or ``"stt"`` (10-year retention, no refresh needed).
     """
 
+    #: Behavioural cache-array class; engine backends (``repro.engine``)
+    #: subclass this L2 and swap in a drop-in array (docs/engine.md).
+    ARRAY_FACTORY = SetAssociativeCache
+
     def __init__(
         self,
         capacity_bytes: int,
@@ -61,7 +65,7 @@ class UniformL2(L2Interface):
             tech=tech,
             ewt=ewt,
         )
-        self.array = SetAssociativeCache(
+        self.array = self.ARRAY_FACTORY(
             capacity_bytes, associativity, line_size, name=self.name,
             tracer=tracer,
         )

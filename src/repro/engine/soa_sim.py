@@ -1,0 +1,1142 @@
+"""Fused structure-of-arrays replay loop (the ``soa`` engine's simulator).
+
+:class:`SoaGPUSimulator` subclasses :class:`repro.gpu.simulator.GPUSimulator`
+and overrides only :meth:`run`: the trace is pre-decoded with NumPy (flags,
+routes, L1 tag/set/line splits) and the per-record work — L1 write policies,
+MSHR coalescing, deferred fills, read-only caches, the L2 serve paths, bank
+scheduling and DRAM — is fused into one interpreter loop over flat per-SM
+state vectors with zero per-access object allocation.  The L2 state lives
+in the SoA model built by :func:`repro.core.factory.build_l2`
+(``engine="soa"``); its demand paths are transcribed *inline* into a
+per-L2-kind ``process`` closure here, so the hot path makes no Python
+calls at all — only the rare cold paths (writes that migrate, refresh
+sweeps, buffer force-pops) delegate to the SoA L2's methods, which operate
+on the same flat vectors.
+
+Equivalence contract (docs/engine.md): every counter update, float
+accumulation and state transition happens in the object engine's order, so
+the :class:`~repro.gpu.metrics.SimulationResult` is byte-identical.  Two
+bookkeeping liberties keep that true while staying fast:
+
+* Scalar *integer* counters (cache stats, selector/monitor tallies, DRAM
+  request counts) accumulate in loop locals and fold into the component
+  objects after the loop — integer addition commutes with the cold paths'
+  direct mutations of the same fields.
+* *Float* accumulators (L2 demand/fill energy, DRAM total wait) are
+  order-sensitive, so they live in locals that are written back to the
+  owning object before every cold-path call and re-read after — the
+  accumulation order is exactly the object engine's.
+
+The one intentional divergence: per-line L1/read-only *wear* counters
+(``set_writes``/``frame_writes``/``set_evictions`` and per-block
+timestamps) are not maintained — nothing downstream reads them for L1 or
+the read-only caches — while aggregate ``CacheStats``, ``L1Stats``,
+``MSHRStats``, bank and DRAM counters are flushed back into the real
+component objects at the end of the run.  L2 vectors, LRU orders and
+buffers are mutated in place and need no flush.
+
+Not supported (the registry falls back to the object engine): tracing,
+invariant checkers, fault injection, immediate (non-deferred) L1 fills
+and the ``stt-relaxed`` L2 kind.
+"""
+
+from __future__ import annotations
+
+from math import inf
+
+import numpy as np
+
+from repro.config import GPUConfig
+from repro.core.factory import build_l2
+from repro.engine.soa_l2 import SoaTwoPartL2
+from repro.errors import SimulationError
+from repro.gpu.metrics import SimulationResult
+from repro.gpu.occupancy import compute_occupancy
+from repro.gpu.simulator import (
+    BANK_WAIT_CAP_FACTOR,
+    L1_HIT_CYCLES,
+    TIME_DILATION,
+    GPUSimulator,
+)
+from repro.workloads.trace import (
+    FLAG_CONST,
+    FLAG_LOCAL,
+    FLAG_TEXTURE,
+    FLAG_WRITE,
+    Workload,
+)
+
+
+class SoaGPUSimulator(GPUSimulator):
+    """One (workload, configuration) simulation on the fused SoA hot loop."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        workload: Workload,
+        track_intervals: bool = False,
+        time_dilation: float = TIME_DILATION,
+        start_time_s: float = 0.0,
+    ) -> None:
+        """Build the SoA L2 and the standard component set around it.
+
+        Narrower signature than :class:`GPUSimulator` on purpose: the
+        features the extra parameters enable (tracers, checkers, pre-built
+        L2s, immediate fills) are object-engine-only, and
+        :func:`repro.engine.make_simulator` routes them there.
+        """
+        l2 = build_l2(
+            config.l2, track_intervals=track_intervals, tech=config.tech,
+            engine="soa",
+        )
+        super().__init__(
+            config,
+            workload,
+            l2=l2,
+            track_intervals=track_intervals,
+            time_dilation=time_dilation,
+            deferred_l1_fills=True,
+            start_time_s=start_time_s,
+        )
+
+    def run(self) -> SimulationResult:  # noqa: C901 - deliberately monolithic
+        """Replay the trace on the fused loop and roll up IPC and L2 power."""
+        config = self.config
+        kernel = self.workload.kernel
+        occupancy = compute_occupancy(kernel, config)
+        cycle_s = 1.0 / config.core_clock_hz
+        dt = kernel.compute_intensity * cycle_s / config.num_sms
+        noc_rt_cycles = self.noc.round_trip_cycles(
+            request_bytes=8, response_bytes=config.l2.line_size
+        )
+        l1_hit_s = L1_HIT_CYCLES * cycle_s
+        noc_rt_s = noc_rt_cycles * cycle_s
+        wait_cap_factor = BANK_WAIT_CAP_FACTOR
+        time_dilation = self.time_dilation
+        max_sm = config.num_sms
+
+        trace = self.workload.trace
+        sm_np = trace.sm
+        addr_np = trace.address
+        flags_np = trace.flags
+        n = len(sm_np)
+        if n and int(sm_np.max()) >= max_sm:
+            bad = int(sm_np[int(np.argmax(sm_np >= max_sm))])
+            raise SimulationError(
+                f"trace SM id {bad} exceeds configured {max_sm} SMs"
+            )
+
+        # --- vectorized decode -------------------------------------------
+        sm_list = sm_np.tolist()
+        write_list = ((flags_np & FLAG_WRITE) != 0).tolist()
+        local_list = ((flags_np & FLAG_LOCAL) != 0).tolist()
+        const_np = (flags_np & FLAG_CONST) != 0
+        texture_np = (flags_np & FLAG_TEXTURE) != 0
+        # route 0 = L1 data, 1 = const cache, 2 = texture cache; a record
+        # with both read-only flags goes to const (the object loop tests
+        # FLAG_CONST first)
+        route_np = np.zeros(n, dtype=np.int8)
+        route_np[texture_np] = 2
+        route_np[const_np] = 1
+        route_list = route_np.tolist()
+
+        def _decode(off_bits: int, pow2: bool, set_bits: int, set_mask: int,
+                    nsets: int):
+            """Line-address / tag / set-index columns for one geometry."""
+            line_no = addr_np >> off_bits
+            if pow2:
+                tags = line_no >> set_bits
+                sets_ = line_no & set_mask
+            else:
+                tags = line_no // nsets
+                sets_ = line_no % nsets
+            return (line_no << off_bits).tolist(), tags.tolist(), sets_.tolist()
+
+        l1_geom = self.l1s[0].array.mapper
+        l1_off = l1_geom.offset_bits
+        l1_pow2 = l1_geom.pow2_sets
+        l1_bits = l1_geom._set_bits
+        l1_mask = l1_geom._set_mask
+        l1_nsets = self.l1s[0].array.num_sets
+        l1_assoc = self.l1s[0].array.associativity
+        l1_line_list, l1_tag_list, l1_set_list = _decode(
+            l1_off, l1_pow2, l1_bits, l1_mask, l1_nsets
+        )
+        have_const = bool(const_np.any())
+        have_texture = bool(texture_np.any())
+        if have_const:
+            cg = self.const_caches[0].array.mapper
+            c_nsets = self.const_caches[0].array.num_sets
+            c_line_list, c_tag_list, c_set_list = _decode(
+                cg.offset_bits, cg.pow2_sets, cg._set_bits, cg._set_mask,
+                c_nsets,
+            )
+        if have_texture:
+            tg = self.texture_caches[0].array.mapper
+            t_nsets = self.texture_caches[0].array.num_sets
+            t_line_list, t_tag_list, t_set_list = _decode(
+                tg.offset_bits, tg.pow2_sets, tg._set_bits, tg._set_mask,
+                t_nsets,
+            )
+
+        # --- flat per-SM state -------------------------------------------
+        S = max_sm
+        n_l1_slots = S * l1_nsets * l1_assoc
+        l1_tags = [-1] * n_l1_slots
+        l1_valid = [False] * n_l1_slots
+        l1_dirty = [False] * n_l1_slots
+        l1_t2w = [dict() for _ in range(S * l1_nsets)]
+        l1_lru = [list(range(l1_assoc)) for _ in range(S * l1_nsets)]
+        pend = [dict() for _ in range(S)]      # line -> [ready, fill_dirty]
+        min_ready = [inf] * S
+        mshr_map = [dict() for _ in range(S)]  # line -> merged count
+        mshr_entries = self.l1s[0].mshr.num_entries
+        mshr_max_merged = self.l1s[0].mshr.max_merged
+
+        # per-SM counters, flushed into the component objects at the end
+        ar_reads = [0] * S; ar_writes = [0] * S
+        ar_rh = [0] * S; ar_wh = [0] * S
+        ar_fills = [0] * S; ar_evc = [0] * S; ar_evd = [0] * S
+        ar_inv = [0] * S
+        g_gr = [0] * S; g_gw = [0] * S; g_lr = [0] * S; g_lw = [0] * S
+        g_wev = [0] * S; g_lwb = [0] * S; g_coal = [0] * S; g_stall = [0] * S
+        m_alloc = [0] * S; m_coal = [0] * S; m_stall = [0] * S; m_comp = [0] * S
+
+        c_assoc = self.const_caches[0].array.associativity
+        t_assoc = self.texture_caches[0].array.associativity
+        if have_const:
+            c_tags = [-1] * (S * c_nsets * c_assoc)
+            c_valid = [False] * (S * c_nsets * c_assoc)
+            c_t2w = [dict() for _ in range(S * c_nsets)]
+            c_lru = [list(range(c_assoc)) for _ in range(S * c_nsets)]
+        if have_texture:
+            t_tags = [-1] * (S * t_nsets * t_assoc)
+            t_valid = [False] * (S * t_nsets * t_assoc)
+            t_t2w = [dict() for _ in range(S * t_nsets)]
+            t_lru = [list(range(t_assoc)) for _ in range(S * t_nsets)]
+        c_reads = [0] * S; c_rh = [0] * S; c_fills = [0] * S; c_evc = [0] * S
+        t_reads = [0] * S; t_rh = [0] * S; t_fills = [0] * S; t_evc = [0] * S
+
+        # --- shared-component locals -------------------------------------
+        bank_busy = self.banks._busy_until
+        bank_shift = self.banks._line_shift
+        bank_mask = self.banks._bank_mask
+        bank_req = 0
+        bank_conf = 0
+        bank_wait_sum = 0.0
+
+        dram = self.dram
+        dram_stats = dram.stats
+        dram_busy = dram._busy_until
+        dram_busy_s = dram._busy_s
+        dram_open = dram._open_row
+        dram_line_shift = dram._line_shift
+        dram_channels = dram.num_channels
+        dram_row_size = dram.row_size
+        dram_service = dram.service_time_s
+        dram_base_lat = dram.base_latency_s
+        dram_rowhit_lat = dram.row_hit_latency_s
+        dram_max_wait = dram.max_wait_s
+        # the inline DRAM read path assumes line-interleaved channels and
+        # no tracer; both always hold for SoA-built simulators
+        dram_inline = dram_line_shift is not None and not dram.tracer.enabled
+        dram_access = dram.access
+        n_dram_r = n_dram_rh = n_dram_w = 0
+        dram_wait_s = dram_stats.total_wait_s
+
+        now = self.start_time_s
+        reads = 0
+        stall_sum_s = 0.0
+        read_latency_sum_s = 0.0
+        l2_requests = 0
+        l2_service_sum_s = 0.0
+        dram_writebacks = 0
+        sm = 0  # current record's SM, read by the closure below
+
+        l2 = self.l2
+        led = l2._energy
+
+        if isinstance(l2, SoaTwoPartL2):
+            # ---- fused two-part L2 + bank + DRAM request handler --------
+            lr = l2.lr_array
+            hr = l2.hr_array
+            lr_t2w = lr.tag_to_way; lr_lru_v = lr.lru; lr_stats = lr.stats
+            lr_dirty_v = lr.dirty_vec; lr_wc = lr.write_count_vec
+            lr_tw = lr.total_writes_vec; lr_tr = lr.total_reads_vec
+            lr_lwt = lr.last_write_time_vec; lr_lat_v = lr.last_access_time_vec
+            lr_ins = lr.insert_time_vec
+            lr_setw = lr.set_writes_vec; lr_frw = lr.frame_writes_vec
+            lr_invalidate = lr.invalidate
+            hr_t2w = hr.tag_to_way; hr_lru_v = hr.lru; hr_stats = hr.stats
+            hr_tags_v = hr.tag_vec; hr_valid_v = hr.valid_vec
+            hr_dirty_v = hr.dirty_vec; hr_wc = hr.write_count_vec
+            hr_tw = hr.total_writes_vec; hr_tr = hr.total_reads_vec
+            hr_lwt = hr.last_write_time_vec; hr_lat_v = hr.last_access_time_vec
+            hr_ins = hr.insert_time_vec
+            hr_setw = hr.set_writes_vec; hr_frw = hr.frame_writes_vec
+            hr_setev = hr.set_evictions
+            hr_invalidate = hr.invalidate
+            off2 = l2._soa_offset_bits
+            line_low_mask = l2._line_low_mask
+            lr_pow2 = l2._lr_pow2; lr_bits = l2._lr_bits
+            lr_smask = l2._lr_mask; lr_nsets = l2._lr_nsets
+            lr_assoc = l2._lr_assoc
+            hr_pow2 = l2._hr_pow2; hr_bits = l2._hr_bits
+            hr_smask = l2._hr_mask; hr_nsets = l2._hr_nsets
+            hr_assoc = l2._hr_assoc
+            lr_w_en = l2._lr_w_en; lr_r_en = l2._lr_r_en
+            lr_w_lat = l2._lr_w_lat; lr_r_lat = l2._lr_r_lat
+            hr_w_en = l2._hr_w_en; hr_r_en = l2._hr_r_en
+            hr_w_lat = l2._hr_w_lat; hr_r_lat = l2._hr_r_lat
+            hr_fill_en = l2.hr_model.fill_energy
+            tag_lat1 = l2._hr_tag_access_latency
+            tag_lat2 = 2 * l2._hr_tag_access_latency
+            probe_tbl = l2._probe_energy_table
+            pe_r1 = probe_tbl[False][1]; pe_r2 = probe_tbl[False][2]
+            pe_w1 = probe_tbl[True][1]; pe_w2 = probe_tbl[True][2]
+            lr_ret = l2._lr_ret; hr_ret = l2._hr_ret
+            sel = l2._sel_stats; sequential = l2._sequential
+            mon = l2._mon_stats; threshold = l2._threshold
+            hr_sat = l2._hr_sat
+            track_ints = l2.track_intervals
+            rewrite_intervals = l2.rewrite_intervals
+            migrate = l2._migrate_fast
+            eng = l2.refresh_engine
+            l2_maint = l2.maintenance
+            next_lr = eng._next_lr_scan
+            next_hr = eng._next_hr_scan
+            next_scan = next_lr if next_lr < next_hr else next_hr
+            h2l_entries = l2.hr_to_lr._entries
+            h2l_stats = l2.hr_to_lr.stats
+            h2l_pop = h2l_entries.popleft
+            l2h_entries = l2.lr_to_hr._entries
+            l2h_stats = l2.lr_to_hr.stats
+            l2h_pop = l2h_entries.popleft
+            # scalar counter accumulators (see the module docstring)
+            n_sel_acc = n_sel_first = n_sel_second = 0
+            n_lr_w = n_lr_wh = n_lr_r = n_lr_rh = 0
+            n_hr_r = n_hr_rh = n_hr_w = n_hr_wh = 0
+            n_hr_evd = n_hr_evc = n_hr_fill = 0
+            n_mon_w = n_mon_mig = 0
+            n_lr_dw = n_hr_dw = n_wb_tot = 0
+            demand_j = led.demand_j
+            fill_j = led.fill_j
+
+            def process(kind: int, raddr: int) -> None:
+                """Serve one L2 request end-to-end (0 fetch/1 write/2 wb).
+
+                Inline transcription of :meth:`SoaTwoPartL2.access` (with
+                :meth:`TwoPartSTTL2._serve_miss` unrolled into it) plus the
+                object replay loop's bank/DRAM/stall block; reads ``now``
+                and ``sm`` from the enclosing loop iteration.
+                """
+                nonlocal l2_requests, l2_service_sum_s, dram_writebacks
+                nonlocal stall_sum_s, read_latency_sum_s
+                nonlocal bank_req, bank_conf, bank_wait_sum
+                nonlocal n_dram_r, n_dram_rh, n_dram_w, dram_wait_s
+                nonlocal next_scan
+                nonlocal n_sel_acc, n_sel_first, n_sel_second
+                nonlocal n_lr_w, n_lr_wh, n_lr_r, n_lr_rh
+                nonlocal n_hr_r, n_hr_rh, n_hr_w, n_hr_wh
+                nonlocal n_hr_evd, n_hr_evc, n_hr_fill
+                nonlocal n_mon_w, n_mon_mig
+                nonlocal n_lr_dw, n_hr_dw, n_wb_tot
+                nonlocal demand_j, fill_j
+                is_write = kind != 0
+                now2 = now * time_dilation
+                line = raddr & line_low_mask
+                # maintenance: inline buffer drains; delegate due sweeps
+                wb_total = 0
+                if now2 >= next_scan:
+                    led.demand_j = demand_j
+                    led.fill_j = fill_j
+                    wb_total = l2_maint(now2)
+                    demand_j = led.demand_j
+                    fill_j = led.fill_j
+                    nls = eng._next_lr_scan
+                    nhs = eng._next_hr_scan
+                    next_scan = nls if nls < nhs else nhs
+                else:
+                    if h2l_entries and h2l_entries[0][2] <= now2:
+                        while h2l_entries and h2l_entries[0][2] <= now2:
+                            h2l_pop()
+                            h2l_stats.drains += 1
+                    if l2h_entries and l2h_entries[0][2] <= now2:
+                        while l2h_entries and l2h_entries[0][2] <= now2:
+                            l2h_pop()
+                            l2h_stats.drains += 1
+                lineno = line >> off2
+                # locate (with access-path retention expiry)
+                part = 0  # 0 miss, 1 lr, 2 hr
+                if lr_pow2:
+                    tag = lineno >> lr_bits
+                    index = lineno & lr_smask
+                else:
+                    tag, index = divmod(lineno, lr_nsets)
+                way = lr_t2w[index].get(tag)
+                if way is not None:
+                    slot = index * lr_assoc + way
+                    if lr_ret is not None:
+                        last = lr_ins[slot]
+                        written = lr_lwt[slot]
+                        if written > last:
+                            last = written
+                        if now2 - last >= lr_ret:
+                            if lr_dirty_v[slot]:
+                                l2.data_losses += 1
+                            lr_invalidate(line)
+                            way = None
+                    if way is not None:
+                        part = 1
+                if not part:
+                    if hr_pow2:
+                        hr_tag = lineno >> hr_bits
+                        hr_index = lineno & hr_smask
+                    else:
+                        hr_tag, hr_index = divmod(lineno, hr_nsets)
+                    hr_way = hr_t2w[hr_index].get(hr_tag)
+                    if hr_way is not None:
+                        hr_slot = hr_index * hr_assoc + hr_way
+                        last = hr_ins[hr_slot]
+                        written = hr_lwt[hr_slot]
+                        if written > last:
+                            last = written
+                        if now2 - last >= hr_ret:
+                            if hr_dirty_v[hr_slot]:
+                                l2.data_losses += 1
+                            hr_invalidate(line)
+                        else:
+                            part = 2
+                # search-selector accounting (sequential or parallel)
+                n_sel_acc += 1
+                first_hit = part == (1 if is_write else 2)
+                if not sequential:
+                    if first_hit:
+                        n_sel_first += 1
+                    n_sel_second += 1
+                    tag_latency = tag_lat1
+                    energy = pe_w2 if is_write else pe_r2
+                elif first_hit:
+                    n_sel_first += 1
+                    tag_latency = tag_lat1
+                    energy = pe_w1 if is_write else pe_r1
+                else:
+                    n_sel_second += 1
+                    tag_latency = tag_lat2
+                    energy = pe_w2 if is_write else pe_r2
+                # serve
+                dram_fetch = False
+                if part == 1:
+                    if is_write:
+                        if track_ints:
+                            written = lr_lwt[slot]
+                            if written > 0:
+                                rewrite_intervals.append(now2 - written)
+                        n_lr_w += 1
+                        n_lr_wh += 1
+                        lr_dirty_v[slot] = True
+                        lr_tw[slot] += 1
+                        lr_wc[slot] += 1  # LR array never saturates
+                        lr_lwt[slot] = now2
+                        lr_lat_v[slot] = now2
+                        lr_setw[index] += 1
+                        lr_frw[slot] += 1
+                        order = lr_lru_v[index]
+                        order.remove(way)
+                        order.append(way)
+                        energy += lr_w_en
+                        latency = tag_latency + lr_w_lat
+                        n_lr_dw += 1
+                    else:
+                        n_lr_r += 1
+                        n_lr_rh += 1
+                        lr_tr[slot] += 1
+                        lr_lat_v[slot] = now2
+                        order = lr_lru_v[index]
+                        order.remove(way)
+                        order.append(way)
+                        energy += lr_r_en
+                        latency = tag_latency + lr_r_lat
+                    demand_j += energy
+                elif part == 2:
+                    if not is_write:
+                        n_hr_r += 1
+                        n_hr_rh += 1
+                        hr_tr[hr_slot] += 1
+                        hr_lat_v[hr_slot] = now2
+                        order = hr_lru_v[hr_index]
+                        order.remove(hr_way)
+                        order.append(hr_way)
+                        energy += hr_r_en
+                        latency = tag_latency + hr_r_lat
+                        demand_j += energy
+                    else:
+                        n_mon_w += 1
+                        if hr_wc[hr_slot] >= threshold:
+                            n_mon_mig += 1
+                            led.demand_j = demand_j
+                            led.fill_j = fill_j
+                            latency, mig_wb = migrate(
+                                line, now2, energy, tag_latency
+                            )
+                            demand_j = led.demand_j
+                            fill_j = led.fill_j
+                            wb_total += mig_wb
+                        else:
+                            n_hr_w += 1
+                            n_hr_wh += 1
+                            hr_dirty_v[hr_slot] = True
+                            hr_tw[hr_slot] += 1
+                            if hr_sat <= 0 or hr_wc[hr_slot] < hr_sat:
+                                hr_wc[hr_slot] += 1
+                            hr_lwt[hr_slot] = now2
+                            hr_lat_v[hr_slot] = now2
+                            hr_setw[hr_index] += 1
+                            hr_frw[hr_slot] += 1
+                            order = hr_lru_v[hr_index]
+                            order.remove(hr_way)
+                            order.append(hr_way)
+                            energy += hr_w_en
+                            latency = tag_latency + hr_w_lat
+                            n_hr_dw += 1
+                            demand_j += energy
+                else:
+                    # miss: TwoPartSTTL2._serve_miss with the HR array's
+                    # demand access and victim fill unrolled (the line is
+                    # absent from both parts, so this is always a fill)
+                    if is_write:
+                        n_hr_w += 1
+                    else:
+                        n_hr_r += 1
+                    base = hr_index * hr_assoc
+                    fway = -1
+                    for candidate in range(hr_assoc):
+                        if not hr_valid_v[base + candidate]:
+                            fway = candidate
+                            break
+                    if fway < 0:
+                        fway = hr_lru_v[hr_index][0]
+                    fslot = base + fway
+                    tag_map = hr_t2w[hr_index]
+                    evicted_dirty = False
+                    if hr_valid_v[fslot]:
+                        evicted_dirty = hr_dirty_v[fslot]
+                        hr_setev[hr_index] += 1
+                        if evicted_dirty:
+                            n_hr_evd += 1
+                        else:
+                            n_hr_evc += 1
+                        del tag_map[hr_tags_v[fslot]]
+                    hr_tags_v[fslot] = hr_tag
+                    hr_valid_v[fslot] = True
+                    hr_dirty_v[fslot] = is_write
+                    initial = 1 if is_write else 0
+                    hr_wc[fslot] = initial
+                    hr_tw[fslot] = initial
+                    hr_tr[fslot] = 0
+                    hr_lwt[fslot] = now2 if is_write else 0.0
+                    hr_lat_v[fslot] = now2
+                    hr_ins[fslot] = now2
+                    tag_map[hr_tag] = fway
+                    order = hr_lru_v[hr_index]
+                    order.remove(fway)
+                    order.append(fway)
+                    hr_frw[fslot] += 1
+                    if is_write:
+                        hr_setw[hr_index] += 1
+                    n_hr_fill += 1
+                    n_hr_dw += 1
+                    if evicted_dirty:
+                        wb_total += 1
+                        n_wb_tot += 1
+                    demand_j += energy
+                    fill_j += hr_fill_en
+                    latency = tag_latency + hr_r_lat
+                    dram_fetch = True
+                # bank + DRAM + stall accounting (the object replay loop's
+                # per-request block)
+                l2_requests += 1
+                l2_service_sum_s += latency
+                bank = (raddr >> bank_shift) & bank_mask
+                busy = bank_busy[bank]
+                start = busy if busy > now else now
+                wait = start - now
+                bank_busy[bank] = start + latency
+                bank_req += 1
+                if wait > 0:
+                    bank_conf += 1
+                    bank_wait_sum += wait
+                wait_cap = wait_cap_factor * (
+                    latency if latency >= cycle_s else cycle_s
+                )
+                if wait > wait_cap:
+                    wait = wait_cap
+                total = wait + latency
+                if dram_fetch:
+                    if dram_inline:
+                        t_req = now + total
+                        channel = (raddr >> dram_line_shift) % dram_channels
+                        row = raddr // dram_row_size
+                        n_dram_r += 1
+                        if dram_open[channel] == row:
+                            n_dram_rh += 1
+                            d_lat = dram_rowhit_lat
+                        else:
+                            d_lat = dram_base_lat
+                            dram_open[channel] = row
+                        busy = dram_busy[channel]
+                        d_start = busy if busy > t_req else t_req
+                        d_wait = d_start - t_req
+                        if d_wait > dram_max_wait:
+                            d_wait = dram_max_wait
+                        dram_busy[channel] = d_start + dram_service
+                        dram_busy_s[channel] += dram_service
+                        dram_wait_s += d_wait
+                        total += d_wait + d_lat
+                    else:
+                        total += dram_access(raddr, False, now + total)
+                if wb_total:
+                    n_dram_w += wb_total
+                    dram_writebacks += wb_total
+                if kind == 0:
+                    total += noc_rt_s
+                    stall_sum_s += total
+                    read_latency_sum_s += total
+                    entry = pend[sm].get(raddr)
+                    if entry is not None and entry[0] is None:
+                        ready = now + total
+                        entry[0] = ready
+                        if ready < min_ready[sm]:
+                            min_ready[sm] = ready
+                elif kind == 1:
+                    stall_sum_s += wait + latency
+
+            def flush_l2() -> None:
+                """Fold the closure's counter accumulators into the L2."""
+                sel.accesses += n_sel_acc
+                sel.first_probe_hits += n_sel_first
+                sel.second_probes += n_sel_second
+                lr_stats.writes += n_lr_w
+                lr_stats.write_hits += n_lr_wh
+                lr_stats.reads += n_lr_r
+                lr_stats.read_hits += n_lr_rh
+                hr_stats.reads += n_hr_r
+                hr_stats.read_hits += n_hr_rh
+                hr_stats.writes += n_hr_w
+                hr_stats.write_hits += n_hr_wh
+                hr_stats.evictions_dirty += n_hr_evd
+                hr_stats.evictions_clean += n_hr_evc
+                hr_stats.fills += n_hr_fill
+                mon.writes_observed += n_mon_w
+                mon.migrations_triggered += n_mon_mig
+                l2.lr_data_writes += n_lr_dw
+                l2.hr_data_writes += n_hr_dw
+                l2.dram_writebacks_total += n_wb_tot
+                led.demand_j = demand_j
+                led.fill_j = fill_j
+        else:
+            # ---- fused uniform L2 + bank + DRAM request handler ---------
+            arr = l2.array
+            u_t2w = arr.tag_to_way; u_lru = arr.lru; u_stats = arr.stats
+            u_tags_v = arr.tag_vec; u_valid_v = arr.valid_vec
+            u_dirty_v = arr.dirty_vec; u_wc = arr.write_count_vec
+            u_tw = arr.total_writes_vec; u_tr = arr.total_reads_vec
+            u_lwt = arr.last_write_time_vec; u_lat_v = arr.last_access_time_vec
+            u_ins = arr.insert_time_vec
+            u_setw = arr.set_writes_vec; u_frw = arr.frame_writes_vec
+            u_setev = arr.set_evictions
+            u_off = l2._soa_offset_bits
+            u_pow2 = l2._soa_pow2; u_bits = l2._soa_set_bits
+            u_smask = l2._soa_set_mask; u_nsets = l2._soa_num_sets
+            u_assoc = l2._soa_assoc
+            w_hit_en = l2._write_hit_energy; r_hit_en = l2._read_hit_energy
+            w_lat = l2._write_latency; r_lat = l2._read_latency
+            probe_en = l2._tag_probe_energy; fill_en = l2._fill_energy
+            # scalar counter accumulators (see the module docstring); the
+            # uniform closure has no cold-path calls, so the energy locals
+            # never need mid-run syncing
+            n_u_w = n_u_r = n_u_wh = n_u_rh = 0
+            n_u_evd = n_u_evc = n_u_fill = 0
+            n_data_writes = 0
+            demand_j = led.demand_j
+            fill_j = led.fill_j
+
+            def process(kind: int, raddr: int) -> None:
+                """Serve one L2 request end-to-end (0 fetch/1 write/2 wb).
+
+                Inline transcription of :meth:`SoaUniformL2.access` (with
+                the array's victim fill unrolled) plus the object replay
+                loop's bank/DRAM/stall block.
+                """
+                nonlocal l2_requests, l2_service_sum_s, dram_writebacks
+                nonlocal stall_sum_s, read_latency_sum_s
+                nonlocal bank_req, bank_conf, bank_wait_sum
+                nonlocal n_dram_r, n_dram_rh, n_dram_w, dram_wait_s
+                nonlocal n_u_w, n_u_r, n_u_wh, n_u_rh
+                nonlocal n_u_evd, n_u_evc, n_u_fill, n_data_writes
+                nonlocal demand_j, fill_j
+                is_write = kind != 0
+                now2 = now * time_dilation
+                lineno = raddr >> u_off
+                if u_pow2:
+                    tag = lineno >> u_bits
+                    index = lineno & u_smask
+                else:
+                    tag, index = divmod(lineno, u_nsets)
+                way = u_t2w[index].get(tag)
+                if is_write:
+                    n_u_w += 1
+                else:
+                    n_u_r += 1
+                dram_fetch = False
+                wb_total = 0
+                if way is not None:
+                    slot = index * u_assoc + way
+                    if is_write:
+                        n_u_wh += 1
+                        u_dirty_v[slot] = True
+                        u_tw[slot] += 1
+                        u_wc[slot] += 1  # saturation is 0 here
+                        u_lwt[slot] = now2
+                        u_lat_v[slot] = now2
+                        u_setw[index] += 1
+                        u_frw[slot] += 1
+                        energy = w_hit_en
+                        latency = w_lat
+                        n_data_writes += 1
+                    else:
+                        n_u_rh += 1
+                        u_tr[slot] += 1
+                        u_lat_v[slot] = now2
+                        energy = r_hit_en
+                        latency = r_lat
+                    order = u_lru[index]
+                    order.remove(way)
+                    order.append(way)
+                    demand_j += energy
+                else:
+                    # miss: the uniform L2 always allocates; victim fill
+                    # unrolled from SoaCacheArray._fill
+                    base = index * u_assoc
+                    fway = -1
+                    for candidate in range(u_assoc):
+                        if not u_valid_v[base + candidate]:
+                            fway = candidate
+                            break
+                    if fway < 0:
+                        fway = u_lru[index][0]
+                    fslot = base + fway
+                    tag_map = u_t2w[index]
+                    if u_valid_v[fslot]:
+                        u_setev[index] += 1
+                        if u_dirty_v[fslot]:
+                            n_u_evd += 1
+                            wb_total = 1
+                        else:
+                            n_u_evc += 1
+                        del tag_map[u_tags_v[fslot]]
+                    u_tags_v[fslot] = tag
+                    u_valid_v[fslot] = True
+                    u_dirty_v[fslot] = is_write
+                    initial = 1 if is_write else 0
+                    u_wc[fslot] = initial
+                    u_tw[fslot] = initial
+                    u_tr[fslot] = 0
+                    u_lwt[fslot] = now2 if is_write else 0.0
+                    u_lat_v[fslot] = now2
+                    u_ins[fslot] = now2
+                    tag_map[tag] = fway
+                    order = u_lru[index]
+                    order.remove(fway)
+                    order.append(fway)
+                    u_frw[fslot] += 1
+                    if is_write:
+                        u_setw[index] += 1
+                    n_u_fill += 1
+                    n_data_writes += 1
+                    demand_j += probe_en
+                    fill_j += fill_en
+                    latency = r_lat
+                    dram_fetch = True
+                # bank + DRAM + stall accounting
+                l2_requests += 1
+                l2_service_sum_s += latency
+                bank = (raddr >> bank_shift) & bank_mask
+                busy = bank_busy[bank]
+                start = busy if busy > now else now
+                wait = start - now
+                bank_busy[bank] = start + latency
+                bank_req += 1
+                if wait > 0:
+                    bank_conf += 1
+                    bank_wait_sum += wait
+                wait_cap = wait_cap_factor * (
+                    latency if latency >= cycle_s else cycle_s
+                )
+                if wait > wait_cap:
+                    wait = wait_cap
+                total = wait + latency
+                if dram_fetch:
+                    if dram_inline:
+                        t_req = now + total
+                        channel = (raddr >> dram_line_shift) % dram_channels
+                        row = raddr // dram_row_size
+                        n_dram_r += 1
+                        if dram_open[channel] == row:
+                            n_dram_rh += 1
+                            d_lat = dram_rowhit_lat
+                        else:
+                            d_lat = dram_base_lat
+                            dram_open[channel] = row
+                        busy = dram_busy[channel]
+                        d_start = busy if busy > t_req else t_req
+                        d_wait = d_start - t_req
+                        if d_wait > dram_max_wait:
+                            d_wait = dram_max_wait
+                        dram_busy[channel] = d_start + dram_service
+                        dram_busy_s[channel] += dram_service
+                        dram_wait_s += d_wait
+                        total += d_wait + d_lat
+                    else:
+                        total += dram_access(raddr, False, now + total)
+                if wb_total:
+                    n_dram_w += wb_total
+                    dram_writebacks += wb_total
+                if kind == 0:
+                    total += noc_rt_s
+                    stall_sum_s += total
+                    read_latency_sum_s += total
+                    entry = pend[sm].get(raddr)
+                    if entry is not None and entry[0] is None:
+                        ready = now + total
+                        entry[0] = ready
+                        if ready < min_ready[sm]:
+                            min_ready[sm] = ready
+                elif kind == 1:
+                    stall_sum_s += wait + latency
+
+            def flush_l2() -> None:
+                """Fold the closure's counter accumulators into the L2."""
+                u_stats.writes += n_u_w
+                u_stats.reads += n_u_r
+                u_stats.write_hits += n_u_wh
+                u_stats.read_hits += n_u_rh
+                u_stats.evictions_dirty += n_u_evd
+                u_stats.evictions_clean += n_u_evc
+                u_stats.fills += n_u_fill
+                l2.data_writes += n_data_writes
+                led.demand_j = demand_j
+                led.fill_j = fill_j
+
+        # --- the fused replay loop ---------------------------------------
+        for i, (sm, is_write, is_local, route, line, tag, set_index) in enumerate(
+            zip(sm_list, write_list, local_list, route_list,
+                l1_line_list, l1_tag_list, l1_set_list)
+        ):
+            now += dt
+            if not is_write:
+                reads += 1
+                stall_sum_s += l1_hit_s
+                read_latency_sum_s += l1_hit_s
+
+            if route:
+                # ---- read-only (const/texture) cache --------------------
+                if route == 1:
+                    ro_tag = c_tag_list[i]
+                    slot = sm * c_nsets + c_set_list[i]
+                    t2w = c_t2w[slot]
+                    c_reads[sm] += 1
+                    way = t2w.get(ro_tag)
+                    if way is not None:
+                        c_rh[sm] += 1
+                        order = c_lru[slot]
+                        order.remove(way)
+                        order.append(way)
+                        continue
+                    base = slot * c_assoc
+                    way = -1
+                    for candidate in range(c_assoc):
+                        if not c_valid[base + candidate]:
+                            way = candidate
+                            break
+                    if way < 0:
+                        way = c_lru[slot][0]
+                    slot_index = base + way
+                    if c_valid[slot_index]:
+                        c_evc[sm] += 1  # read-only lines are never dirty
+                        del t2w[c_tags[slot_index]]
+                    c_tags[slot_index] = ro_tag
+                    c_valid[slot_index] = True
+                    t2w[ro_tag] = way
+                    order = c_lru[slot]
+                    order.remove(way)
+                    order.append(way)
+                    c_fills[sm] += 1
+                    process(0, c_line_list[i])
+                else:
+                    ro_tag = t_tag_list[i]
+                    slot = sm * t_nsets + t_set_list[i]
+                    t2w = t_t2w[slot]
+                    t_reads[sm] += 1
+                    way = t2w.get(ro_tag)
+                    if way is not None:
+                        t_rh[sm] += 1
+                        order = t_lru[slot]
+                        order.remove(way)
+                        order.append(way)
+                        continue
+                    base = slot * t_assoc
+                    way = -1
+                    for candidate in range(t_assoc):
+                        if not t_valid[base + candidate]:
+                            way = candidate
+                            break
+                    if way < 0:
+                        way = t_lru[slot][0]
+                    slot_index = base + way
+                    if t_valid[slot_index]:
+                        t_evc[sm] += 1
+                        del t2w[t_tags[slot_index]]
+                    t_tags[slot_index] = ro_tag
+                    t_valid[slot_index] = True
+                    t2w[ro_tag] = way
+                    order = t_lru[slot]
+                    order.remove(way)
+                    order.append(way)
+                    t_fills[sm] += 1
+                    process(0, t_line_list[i])
+                continue
+
+            # ---- L1 data cache ------------------------------------------
+            pend_sm = pend[sm]
+            # deferred fills whose fetch landed install first; their dirty
+            # evictions go to the L2 as writebacks, in landed order
+            if pend_sm and now >= min_ready[sm]:
+                landed = []
+                new_min = inf
+                for pending_line, entry in pend_sm.items():
+                    ready = entry[0]
+                    if ready is None:
+                        continue
+                    if ready <= now:
+                        landed.append(pending_line)
+                    elif ready < new_min:
+                        new_min = ready
+                min_ready[sm] = new_min
+                mshr_sm = mshr_map[sm]
+                for pending_line in landed:
+                    fill_dirty = pend_sm.pop(pending_line)[1]
+                    fill_no = pending_line >> l1_off
+                    if l1_pow2:
+                        fill_tag = fill_no >> l1_bits
+                        fill_set = fill_no & l1_mask
+                    else:
+                        fill_tag, fill_set = divmod(fill_no, l1_nsets)
+                    slot = sm * l1_nsets + fill_set
+                    t2w = l1_t2w[slot]
+                    fill_way = t2w.get(fill_tag)
+                    evicted_line = -1
+                    if fill_way is not None:
+                        # already present: OR in the dirty intent, touch
+                        if fill_dirty:
+                            l1_dirty[slot * l1_assoc + fill_way] = True
+                        order = l1_lru[slot]
+                        order.remove(fill_way)
+                        order.append(fill_way)
+                    else:
+                        base = slot * l1_assoc
+                        fill_way = -1
+                        for candidate in range(l1_assoc):
+                            if not l1_valid[base + candidate]:
+                                fill_way = candidate
+                                break
+                        if fill_way < 0:
+                            fill_way = l1_lru[slot][0]
+                        slot_index = base + fill_way
+                        if l1_valid[slot_index]:
+                            victim_tag = l1_tags[slot_index]
+                            if l1_dirty[slot_index]:
+                                ar_evd[sm] += 1
+                                if l1_pow2:
+                                    victim_no = (victim_tag << l1_bits) | fill_set
+                                else:
+                                    victim_no = victim_tag * l1_nsets + fill_set
+                                evicted_line = victim_no << l1_off
+                            else:
+                                ar_evc[sm] += 1
+                            del t2w[victim_tag]
+                        l1_tags[slot_index] = fill_tag
+                        l1_valid[slot_index] = True
+                        l1_dirty[slot_index] = fill_dirty
+                        t2w[fill_tag] = fill_way
+                        order = l1_lru[slot]
+                        order.remove(fill_way)
+                        order.append(fill_way)
+                        ar_fills[sm] += 1
+                    if mshr_sm.pop(pending_line, None) is None:
+                        raise SimulationError(
+                            "completing a fetch that was never registered: "
+                            f"{pending_line:#x}"
+                        )
+                    m_comp[sm] += 1
+                    if evicted_line >= 0:
+                        g_lwb[sm] += 1
+                        process(2, evicted_line)
+
+            slot = sm * l1_nsets + set_index
+            t2w = l1_t2w[slot]
+            if is_local:
+                # conventional write-back/write-allocate for local data
+                if is_write:
+                    g_lw[sm] += 1
+                    ar_writes[sm] += 1
+                else:
+                    g_lr[sm] += 1
+                    ar_reads[sm] += 1
+                way = t2w.get(tag)
+                if way is not None:
+                    if is_write:
+                        ar_wh[sm] += 1
+                        l1_dirty[slot * l1_assoc + way] = True
+                    else:
+                        ar_rh[sm] += 1
+                    order = l1_lru[slot]
+                    order.remove(way)
+                    order.append(way)
+                    continue
+                dirty_intent = is_write
+            elif is_write:
+                # global store: write-evict on hit, write-no-allocate miss
+                g_gw[sm] += 1
+                ar_writes[sm] += 1
+                way = t2w.get(tag)
+                if way is not None:
+                    ar_wh[sm] += 1
+                    slot_index = slot * l1_assoc + way
+                    del t2w[tag]
+                    l1_tags[slot_index] = -1
+                    l1_valid[slot_index] = False
+                    l1_dirty[slot_index] = False
+                    ar_inv[sm] += 1
+                    g_wev[sm] += 1
+                elif line in pend_sm:
+                    # the store supersedes an in-flight fetch: cancel it
+                    del pend_sm[line]
+                    if mshr_map[sm].pop(line, None) is None:
+                        raise SimulationError(
+                            "completing a fetch that was never registered: "
+                            f"{line:#x}"
+                        )
+                    m_comp[sm] += 1
+                process(1, line)
+                continue
+            else:
+                # global read: allocate-on-miss through the MSHRs
+                g_gr[sm] += 1
+                ar_reads[sm] += 1
+                way = t2w.get(tag)
+                if way is not None:
+                    ar_rh[sm] += 1
+                    order = l1_lru[slot]
+                    order.remove(way)
+                    order.append(way)
+                    continue
+                dirty_intent = False
+
+            # shared read/local miss path: register in the MSHR file
+            entry = pend_sm.get(line)
+            if entry is not None:
+                # secondary miss to an in-flight line: coalesce
+                mshr_sm = mshr_map[sm]
+                merged = mshr_sm.get(line)
+                if merged is not None:
+                    if merged >= mshr_max_merged:
+                        m_stall[sm] += 1
+                    else:
+                        mshr_sm[line] = merged + 1
+                        m_coal[sm] += 1
+                else:
+                    # unreachable while pend/mshr stay coherent; mirrors
+                    # MSHRFile.register_miss for safety
+                    if len(mshr_sm) >= mshr_entries:
+                        m_stall[sm] += 1
+                    else:
+                        mshr_sm[line] = 1
+                        m_alloc[sm] += 1
+                if not entry[1]:
+                    entry[1] = entry[1] or dirty_intent
+                g_coal[sm] += 1
+            else:
+                mshr_sm = mshr_map[sm]
+                if len(mshr_sm) >= mshr_entries:
+                    # MSHRs full: uncached non-allocating fetch
+                    m_stall[sm] += 1
+                    g_stall[sm] += 1
+                else:
+                    mshr_sm[line] = 1
+                    m_alloc[sm] += 1
+                    pend_sm[line] = [None, dirty_intent]
+                process(0, line)
+
+        # --- flush local state back into the component objects ------------
+        self.end_time_s = now
+        flush_l2()
+        dram_stats.reads += n_dram_r
+        dram_stats.row_hits += n_dram_rh
+        dram_stats.writes += n_dram_w
+        if dram_inline:
+            dram_stats.total_wait_s = dram_wait_s
+        bank_stats = self.banks.stats
+        bank_stats.requests += bank_req
+        bank_stats.conflicts += bank_conf
+        bank_stats.total_wait += bank_wait_sum
+        for s in range(S):
+            l1 = self.l1s[s]
+            array_stats = l1.array.stats
+            array_stats.reads += ar_reads[s]
+            array_stats.writes += ar_writes[s]
+            array_stats.read_hits += ar_rh[s]
+            array_stats.write_hits += ar_wh[s]
+            array_stats.fills += ar_fills[s]
+            array_stats.evictions_clean += ar_evc[s]
+            array_stats.evictions_dirty += ar_evd[s]
+            array_stats.invalidations += ar_inv[s]
+            gpu_stats = l1.gpu_stats
+            gpu_stats.global_reads += g_gr[s]
+            gpu_stats.global_writes += g_gw[s]
+            gpu_stats.local_reads += g_lr[s]
+            gpu_stats.local_writes += g_lw[s]
+            gpu_stats.write_evictions += g_wev[s]
+            gpu_stats.local_writebacks += g_lwb[s]
+            gpu_stats.coalesced_misses += g_coal[s]
+            gpu_stats.mshr_stalls += g_stall[s]
+            mshr_stats = l1.mshr.stats
+            mshr_stats.allocations += m_alloc[s]
+            mshr_stats.coalesced += m_coal[s]
+            mshr_stats.stalls += m_stall[s]
+            mshr_stats.completions += m_comp[s]
+            l1.mshr._entries.update(mshr_map[s])
+            l1._pending.update(pend[s])
+            if min_ready[s] < l1._min_ready:
+                l1._min_ready = min_ready[s]
+            const_stats = self.const_caches[s].array.stats
+            const_stats.reads += c_reads[s]
+            const_stats.read_hits += c_rh[s]
+            const_stats.fills += c_fills[s]
+            const_stats.evictions_clean += c_evc[s]
+            texture_stats = self.texture_caches[s].array.stats
+            texture_stats.reads += t_reads[s]
+            texture_stats.read_hits += t_rh[s]
+            texture_stats.fills += t_fills[s]
+            texture_stats.evictions_clean += t_evc[s]
+
+        return self._roll_up(
+            occupancy=occupancy,
+            cycle_s=cycle_s,
+            reads=reads,
+            stall_sum_s=stall_sum_s,
+            read_latency_sum_s=read_latency_sum_s,
+            l2_requests=l2_requests,
+            l2_service_sum_s=l2_service_sum_s,
+            dram_writebacks=dram_writebacks,
+        )

@@ -390,7 +390,19 @@ class GPUSimulator:
 
 
 def simulate(
-    config: GPUConfig, workload: Workload, track_intervals: bool = False
+    config: GPUConfig,
+    workload: Workload,
+    track_intervals: bool = False,
+    engine: Optional[str] = None,
 ) -> SimulationResult:
-    """Convenience wrapper: build the simulator and run it."""
-    return GPUSimulator(config, workload, track_intervals=track_intervals).run()
+    """Convenience wrapper: build the simulator and run it.
+
+    ``engine`` selects the replay backend (``"object"`` or ``"soa"``, see
+    docs/engine.md); ``None`` uses the registry default, which is the SoA
+    engine whenever the run's feature set supports it.
+    """
+    from repro.engine import make_simulator
+
+    return make_simulator(
+        config, workload, engine=engine, track_intervals=track_intervals
+    ).run()

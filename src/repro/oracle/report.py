@@ -37,6 +37,7 @@ def build_report(
     divergence: Optional[dict],
     shrunk: Optional[dict],
     counters: Dict[str, Any],
+    engine: str = "object",
 ) -> dict:
     """Assemble the canonical divergence-report document."""
     return {
@@ -48,6 +49,7 @@ def build_report(
         "accesses": accesses,
         "dt_s": dt_s,
         "mutant": mutant,
+        "engine": engine,
         "checked_accesses": checked_accesses,
         "divergence": divergence,
         "shrunk": shrunk,
@@ -112,6 +114,9 @@ def validate_report(payload: Any) -> dict:
             )
     if "mutant" not in payload or not isinstance(payload["mutant"], (str, type(None))):
         raise OracleError("report key 'mutant' must be a string or null")
+    # 'engine' was added after schema v1 shipped; absent means "object"
+    if not isinstance(payload.get("engine", "object"), str):
+        raise OracleError("report key 'engine' must be a string")
     if "divergence" not in payload:
         raise OracleError("report is missing key 'divergence'")
     if payload["divergence"] is not None:

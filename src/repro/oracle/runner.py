@@ -309,16 +309,33 @@ def make_pair(
     config: GPUConfig,
     mutant: Optional[str] = None,
     tracer: Optional[TraceCollector] = None,
+    engine: str = "object",
 ) -> Tuple[TwoPartSTTL2, ReferenceTwoPartL2]:
     """Build a (DUT, reference) pair from one Table 2 configuration.
 
     ``mutant`` selects a deliberately broken DUT variant from
     :data:`repro.oracle.mutants.MUTANTS` (oracle self-tests); ``None``
-    builds the production :class:`TwoPartSTTL2`.
+    builds the production DUT.  ``engine`` picks which production model is
+    the DUT: the ``object`` :class:`TwoPartSTTL2` or the ``soa``
+    structure-of-arrays subclass (see docs/engine.md) — so the oracle's
+    lockstep diff covers both backends.  Mutants are object-engine
+    subclasses, so ``mutant`` requires ``engine="object"``.
     """
+    if engine not in ("object", "soa"):
+        raise OracleError(f"unknown engine {engine!r}; expected object or soa")
     kwargs = l2_kwargs_from_config(config.l2)
     if mutant is None:
-        dut: TwoPartSTTL2 = TwoPartSTTL2(tracer=tracer, **kwargs)
+        if engine == "soa":
+            from repro.engine.soa_l2 import SoaTwoPartL2
+
+            dut: TwoPartSTTL2 = SoaTwoPartL2(tracer=tracer, **kwargs)
+        else:
+            dut = TwoPartSTTL2(tracer=tracer, **kwargs)
+    elif engine != "object":
+        raise OracleError(
+            f"mutant {mutant!r} is an object-engine variant; "
+            "drop --engine soa to run it"
+        )
     else:
         from repro.oracle.mutants import build_mutant
 
@@ -328,14 +345,17 @@ def make_pair(
 
 
 def diverges(
-    config: GPUConfig, sequence: List[Access], mutant: Optional[str] = None
+    config: GPUConfig,
+    sequence: List[Access],
+    mutant: Optional[str] = None,
+    engine: str = "object",
 ) -> bool:
     """Does ``sequence`` make a fresh DUT/reference pair diverge?
 
     This is the shrinker's test predicate: every evaluation rebuilds both
     models so candidate subsequences are judged from a clean state.
     """
-    dut, ref = make_pair(config, mutant=mutant)
+    dut, ref = make_pair(config, mutant=mutant, engine=engine)
     return LockstepRunner(dut, ref).run(sequence) is not None
 
 
@@ -349,6 +369,7 @@ def run_diff(
     mutant: Optional[str] = None,
     tracer: Optional[TraceCollector] = None,
     shrink_predicate: Optional[Callable[[List[Access]], bool]] = None,
+    engine: str = "object",
 ) -> dict:
     """Run the full differential check for one workload profile.
 
@@ -357,6 +378,8 @@ def run_diff(
     :func:`repro.oracle.report.build_report`).  With ``shrink=True`` a
     divergence is reduced to a minimal reproducing access sequence via
     :func:`repro.oracle.shrink.shrink_sequence` before reporting.
+    ``engine`` selects the DUT backend diffed against the naive
+    reference (see :func:`make_pair`).
     """
     from repro.oracle.report import build_report
     from repro.oracle.shrink import shrink_sequence
@@ -366,19 +389,21 @@ def run_diff(
         raise OracleError(f"need at least one access, got {accesses}")
     workload = build_workload(profile, num_accesses=accesses, seed=seed)
     sequence = workload.trace.lockstep_sequence(dt_s)
-    dut, ref = make_pair(config, mutant=mutant, tracer=tracer)
+    dut, ref = make_pair(config, mutant=mutant, tracer=tracer, engine=engine)
     runner = LockstepRunner(dut, ref, tracer=tracer)
     divergence = runner.run(sequence)
 
     shrunk: Optional[dict] = None
     if divergence is not None and shrink:
         predicate = shrink_predicate or (
-            lambda candidate: diverges(config, candidate, mutant=mutant)
+            lambda candidate: diverges(
+                config, candidate, mutant=mutant, engine=engine
+            )
         )
         # everything after the diverging access is irrelevant by definition
         prefix = sequence[: min(divergence["index"] + 1, len(sequence))]
         minimal = shrink_sequence(prefix, predicate)
-        dut_min, ref_min = make_pair(config, mutant=mutant)
+        dut_min, ref_min = make_pair(config, mutant=mutant, engine=engine)
         shrunk = {
             "accesses": [[a, w, t] for a, w, t in minimal],
             "divergence": LockstepRunner(dut_min, ref_min).run(minimal),
@@ -390,6 +415,7 @@ def run_diff(
         accesses=accesses,
         dt_s=dt_s,
         mutant=mutant,
+        engine=engine,
         checked_accesses=(
             len(sequence) if divergence is None
             else min(divergence["index"] + 1, len(sequence))

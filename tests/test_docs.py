@@ -24,6 +24,7 @@ class TestLinks:
         assert "experiments.md" in files
         assert "architecture.md" in files
         assert "metrics.md" in files
+        assert "engine.md" in files
         assert "EXPERIMENTS.md" in files
         assert "DESIGN.md" in files
 
@@ -56,6 +57,56 @@ class TestExperimentDocs:
         text = (REPO_ROOT / "EXPERIMENTS.md").read_text()
         assert "## Validating paper claims from a trace" in text
         assert "perfetto" in text.lower()
+
+
+class TestEngineDocs:
+    """docs/engine.md must document the SoA engine and stay linked in."""
+
+    def test_engine_md_covers_the_contract(self):
+        text = (REPO_ROOT / "docs" / "engine.md").read_text()
+        # the selectable flag, the equivalence protocol and the
+        # extension guide are the document's reason to exist
+        assert "--engine" in text
+        assert "byte-identical" in text
+        assert "## Equivalence" in text
+        assert "## Adding an engine" in text
+
+    def test_engine_md_documents_every_soa_vector(self):
+        """One section per flat vector: the docs track the actual layout."""
+        from repro.engine.soa_array import SoaCacheArray
+
+        text = (REPO_ROOT / "docs" / "engine.md").read_text()
+        array = SoaCacheArray(1024, 2, 64)
+        vectors = [
+            name for name in vars(array)
+            if name.endswith("_vec") or name in ("tag_to_way", "lru")
+        ]
+        assert vectors, "SoaCacheArray should expose flat vectors"
+        missing = [name for name in vectors if f"`{name}`" not in text]
+        assert not missing, (
+            f"docs/engine.md does not document SoA vectors: {missing}"
+        )
+
+    def test_engine_names_match_the_registry(self):
+        from repro.engine import DEFAULT_ENGINE, ENGINES
+
+        text = (REPO_ROOT / "docs" / "engine.md").read_text()
+        for engine in ENGINES:
+            assert f"`{engine}`" in text
+        assert DEFAULT_ENGINE in text
+
+    def test_cross_linked_from_readme_architecture_and_performance(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        architecture = (REPO_ROOT / "docs" / "architecture.md").read_text()
+        performance = (REPO_ROOT / "docs" / "performance.md").read_text()
+        assert "docs/engine.md" in readme
+        assert "engine.md" in architecture
+        assert "engine.md" in performance
+
+    def test_experiments_md_has_a_choosing_an_engine_note(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        assert "## Choosing an engine" in text
+        assert "--engine" in text
 
 
 class TestMetricsDocs:

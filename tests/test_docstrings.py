@@ -2,9 +2,10 @@
 
 A lightweight pydocstyle-style gate: every module, public class and public
 function in ``repro.experiments.*``, ``repro.telemetry``, ``repro.io``,
-``repro.tracing.*``, ``repro.benchmarks`` and the replay hot path
-(``repro.cache.*``, ``repro.gpu.*``) must carry a docstring, and the
-experiment modules' docstrings must state their job-decomposition contract.
+``repro.tracing.*``, ``repro.benchmarks``, the replay hot path
+(``repro.cache.*``, ``repro.gpu.*``) and the SoA engine
+(``repro.engine.*``) must carry a docstring, and the experiment modules'
+docstrings must state their job-decomposition contract.
 """
 
 import importlib
@@ -14,6 +15,7 @@ import pkgutil
 import pytest
 
 import repro.cache
+import repro.engine
 import repro.experiments
 import repro.gpu
 
@@ -26,8 +28,11 @@ CHECKED_MODULES = sorted(
 ) + sorted(
     f"repro.gpu.{m.name}"
     for m in pkgutil.iter_modules(repro.gpu.__path__)
+) + sorted(
+    f"repro.engine.{m.name}"
+    for m in pkgutil.iter_modules(repro.engine.__path__)
 ) + [
-    "repro.experiments", "repro.cache", "repro.gpu",
+    "repro.experiments", "repro.cache", "repro.gpu", "repro.engine",
     "repro.telemetry", "repro.io", "repro.benchmarks",
     "repro.tracing", "repro.tracing.collector", "repro.tracing.schema",
 ]
