@@ -28,6 +28,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.benchmarks import (  # noqa: E402  (path setup must precede import)
     DEFAULT_REGRESSION_THRESHOLD,
+    SCALE_SCENARIOS,
     BenchmarkError,
     compare_bench,
     run_bench,
@@ -45,10 +46,16 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=None,
                         help="override repeat count (default: 3, quick: 2)")
     parser.add_argument("--engines", nargs="+", default=["object"],
-                        choices=["object", "soa"], metavar="ENGINE",
+                        choices=["object", "soa", "sharded"], metavar="ENGINE",
                         help="replay engines to time, each scenario once "
                              "per engine (default: object only; the "
-                             "committed baseline records both)")
+                             "committed baseline records all three)")
+    parser.add_argument("--shards", type=int, default=4, metavar="N",
+                        help="shard count for the sharded engine "
+                             "(default 4; recorded per scenario)")
+    parser.add_argument("--scale", action="store_true",
+                        help="time the million-access SCALE_SCENARIOS "
+                             "instead of the default pinned set")
     parser.add_argument("--out", metavar="FILE", default=None,
                         help="write the bench document to FILE")
     parser.add_argument("--baseline", metavar="FILE", default=None,
@@ -68,8 +75,10 @@ def main(argv=None) -> int:
         document = run_bench(
             quick=args.quick,
             repeats=args.repeats,
+            scenarios=SCALE_SCENARIOS if args.scale else None,
             experiments=args.experiments,
             engines=args.engines,
+            shards=args.shards,
         )
         validate_bench(document)
     except BenchmarkError as error:
@@ -77,10 +86,13 @@ def main(argv=None) -> int:
         return 2
 
     for record in document["scenarios"]:
+        engine = record.get("engine", "object")
+        if "shards" in record:
+            engine += f"({record['shards']} shards)"
         print(
             f"{record['workload']}/{record['config']} "
             f"len={record['trace_length']} seed={record['seed']} "
-            f"engine={record.get('engine', 'object')}: "
+            f"engine={engine}: "
             f"{record['requests_per_s']:.0f} req/s "
             f"(best {record['best_wall_s']:.3f}s over {record['repeats']} runs) "
             f"digest={record['result_sha256'][:12]}"

@@ -116,12 +116,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         tracer = TraceCollector(sample_every=args.trace_sample)
     else:
         tracer = None
+    if args.engine != "sharded" and (
+        args.shards is not None or args.workers is not None
+    ):
+        print(
+            "repro-sttgpu simulate: --shards/--workers apply only to "
+            "--engine sharded (see docs/sharding.md)",
+            file=sys.stderr,
+        )
+        return 2
+    sim_kwargs = {}
+    if args.engine == "sharded":
+        sim_kwargs["shards"] = 4 if args.shards is None else args.shards
+        if args.workers is not None:
+            sim_kwargs["workers"] = args.workers
     try:
         # with --trace the registry falls back to (or, for an explicit
         # --engine soa, refuses with) the object engine: tracing is an
         # object-engine feature
         simulator = make_simulator(
-            configs[args.config], workload, engine=args.engine, tracer=tracer
+            configs[args.config], workload, engine=args.engine, tracer=tracer,
+            **sim_kwargs,
         )
     except ConfigurationError as exc:
         print(f"repro-sttgpu simulate: {exc}", file=sys.stderr)
@@ -140,6 +155,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if result.lr_write_share is not None:
         print(f"LR write share : {result.lr_write_share:.3f}")
         print(f"migrations->LR : {result.migrations_to_lr}")
+    if args.engine == "sharded" and result.bank_stats:
+        from repro.cache.banked import summarize_banks
+
+        banks = summarize_banks(result.bank_stats)
+        rate = banks["conflict_rate"]
+        wait = banks["mean_wait_s"]
+        print(
+            f"L2 banks       : {banks['active_banks']}/{banks['banks']} "
+            f"active ({simulator.shards} shards, {simulator.workers} workers), "
+            f"conflict rate "
+            f"{'n/a' if rate is None else format(rate, '.3f')}, "
+            f"mean wait "
+            f"{'n/a' if wait is None else format(wait * 1e9, '.1f') + ' ns'}"
+        )
     if tracer is not None:
         tracer.write(args.trace_out)
         summary = tracer.summary()
@@ -345,6 +374,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--engine", choices=ENGINES, default=None,
                        help="replay engine (default: soa where supported, "
                             "object otherwise; see docs/engine.md)")
+    p_sim.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="bank shards for --engine sharded (power of "
+                            "two, <= L2 banks, default 4; see "
+                            "docs/sharding.md)")
+    p_sim.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes for --engine sharded "
+                            "(default: min(shards, cpu count))")
     p_sim.add_argument("--trace", action="store_true",
                        help="collect an execution trace (Chrome/Perfetto JSON)")
     p_sim.add_argument("--trace-sample", type=int, default=1, metavar="N",

@@ -224,6 +224,13 @@ class SoaGPUSimulator(GPUSimulator):
         bank_req = 0
         bank_conf = 0
         bank_wait_sum = 0.0
+        # per-bank accumulators (lists mutate in place, no nonlocal needed);
+        # the scalar aggregates above are kept separate so the aggregate
+        # float fold order matches the object engine exactly
+        n_banks = self.banks.num_banks
+        bankv_req = [0] * n_banks
+        bankv_conf = [0] * n_banks
+        bankv_wait = [0.0] * n_banks
 
         dram = self.dram
         dram_stats = dram.stats
@@ -563,9 +570,12 @@ class SoaGPUSimulator(GPUSimulator):
                 wait = start - now
                 bank_busy[bank] = start + latency
                 bank_req += 1
+                bankv_req[bank] += 1
                 if wait > 0:
                     bank_conf += 1
                     bank_wait_sum += wait
+                    bankv_conf[bank] += 1
+                    bankv_wait[bank] += wait
                 wait_cap = wait_cap_factor * (
                     latency if latency >= cycle_s else cycle_s
                 )
@@ -767,9 +777,12 @@ class SoaGPUSimulator(GPUSimulator):
                 wait = start - now
                 bank_busy[bank] = start + latency
                 bank_req += 1
+                bankv_req[bank] += 1
                 if wait > 0:
                     bank_conf += 1
                     bank_wait_sum += wait
+                    bankv_conf[bank] += 1
+                    bankv_wait[bank] += wait
                 wait_cap = wait_cap_factor * (
                     latency if latency >= cycle_s else cycle_s
                 )
@@ -1090,6 +1103,10 @@ class SoaGPUSimulator(GPUSimulator):
         bank_stats.requests += bank_req
         bank_stats.conflicts += bank_conf
         bank_stats.total_wait += bank_wait_sum
+        for b, per in enumerate(self.banks.per_bank):
+            per.requests += bankv_req[b]
+            per.conflicts += bankv_conf[b]
+            per.total_wait += bankv_wait[b]
         for s in range(S):
             l1 = self.l1s[s]
             array_stats = l1.array.stats

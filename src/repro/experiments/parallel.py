@@ -179,6 +179,29 @@ def _execute_job_timed(spec: JobSpec) -> Tuple[JobSpec, Dict[str, Any], float, i
     return spec, payload, time.perf_counter() - start, os.getpid()
 
 
+def fan_out(worker, items: Sequence[Any], jobs: int) -> List[Any]:
+    """Run ``worker(item)`` over ``items`` on up to ``jobs`` processes.
+
+    Results come back in **submission order** regardless of completion
+    order — the determinism contract every merge in this codebase relies
+    on.  ``jobs=1`` (or a single item) stays in-process, which keeps the
+    parallel and serial paths byte-identical and debuggable.  ``worker``
+    and each item must be picklable (a module-level function and
+    plain-data arguments).
+
+    This is the same fan-out the experiment battery uses; the sharded
+    engine (:mod:`repro.shard`) reuses it for bank sub-jobs.
+    """
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    items = list(items)
+    if jobs > 1 and len(items) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+            futures = [pool.submit(worker, item) for item in items]
+            return [future.result() for future in futures]
+    return [worker(item) for item in items]
+
+
 def merge_experiment(
     experiment: str,
     specs: Sequence[JobSpec],
@@ -277,12 +300,7 @@ def run_battery(
         else:
             pending.append(spec)
 
-    if jobs > 1 and len(pending) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = [pool.submit(_execute_job_timed, spec) for spec in pending]
-            outcomes = [future.result() for future in futures]
-    else:
-        outcomes = [_execute_job_timed(spec) for spec in pending]
+    outcomes = fan_out(_execute_job_timed, pending, jobs)
 
     for spec, payload, wall_time, worker in outcomes:
         payloads[spec] = payload

@@ -55,6 +55,10 @@ class SimulationResult:
     refresh_writes: Optional[int] = None
     data_losses: Optional[int] = None
     buffer_overflow_rate: Optional[float] = None
+    # per-bank observability (tuple of cache.banked.BankStats, or None for
+    # engines that predate per-bank accounting); excluded from the canonical
+    # dict/digest surface — see repro.io.simulation_result_to_dict
+    bank_stats: Optional[tuple] = None
 
     @property
     def l2_total_power_w(self) -> float:

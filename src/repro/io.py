@@ -59,8 +59,16 @@ def load_json(path: PathLike) -> Any:
 
 
 def simulation_result_to_dict(result: SimulationResult) -> Dict[str, Any]:
-    """Flatten a simulation result to plain JSON-able types."""
+    """Flatten a simulation result to plain JSON-able types.
+
+    ``bank_stats`` is observability-only and deliberately excluded: the
+    canonical dict feeds result digests (BENCH_replay.json, the parity
+    gates), and per-bank counters must not perturb digests pinned before
+    per-bank accounting existed — nor differ between engines that do and
+    do not populate them.
+    """
     payload = dataclasses.asdict(result)
+    payload.pop("bank_stats", None)
     payload["l2_total_power_w"] = result.l2_total_power_w
     return payload
 

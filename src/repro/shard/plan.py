@@ -1,0 +1,149 @@
+"""Shard planning: geometry validation, config scaling, trace partitioning.
+
+A shard owns ``num_banks / shards`` of the L2's banks and the
+corresponding ``1 / shards`` slice of the address space, selected by the
+low bits of the line number — the same line-interleaved hash
+``cache.address.bank_index`` uses for bank timing, so "shard" is exactly
+"group of banks".  Per-shard addresses are *remapped* by dropping the
+shard-selector bits from the line number: the shard's L2 slice (capacity
+and sets scaled by ``1 / shards``) then sees a dense line space and uses
+all of its sets, matching how a real banked array indexes with the bits
+above the bank selector.  At ``shards=1`` the remap and the scaling are
+both identities, which is what makes ``sharded --shards 1`` byte-identical
+to the ``soa`` engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from repro.config import GPUConfig, L2Config
+from repro.errors import ConfigurationError, ReproError
+from repro.units import is_power_of_two, log2_int
+from repro.workloads.trace import Trace
+
+
+def _validate_shards(l2: L2Config, shards: int) -> None:
+    """Reject shard counts the L2 geometry cannot express."""
+    if not isinstance(shards, int) or isinstance(shards, bool):
+        raise ConfigurationError(f"shards must be an int, got {shards!r}")
+    if shards < 1 or not is_power_of_two(shards):
+        raise ConfigurationError(
+            f"shards must be a positive power of two, got {shards}"
+        )
+    if shards > l2.num_banks:
+        raise ConfigurationError(
+            f"shards={shards} exceeds the L2's {l2.num_banks} banks; "
+            "a shard is a group of banks, so shards <= num_banks"
+        )
+
+
+def shard_l2_config(l2: L2Config, shards: int) -> L2Config:
+    """The L2 slice one shard owns: capacity, sets and banks over ``shards``.
+
+    Associativity, line size, write threshold, retention times and —
+    deliberately — the migration-buffer depth are unscaled: each shard has
+    its *own* full-depth HR<->LR buffers, monitor and refresh engine, per
+    the bank decomposition in FUSE-style designs.
+    """
+    _validate_shards(l2, shards)
+    if shards == 1:
+        return l2
+    try:
+        main = replace(
+            l2.main, capacity_bytes=l2.main.capacity_bytes // shards
+        )
+        lr = (
+            replace(l2.lr, capacity_bytes=l2.lr.capacity_bytes // shards)
+            if l2.lr is not None else None
+        )
+        return replace(
+            l2, main=main, lr=lr, num_banks=l2.num_banks // shards
+        )
+    except ReproError as error:
+        raise ConfigurationError(
+            f"L2 geometry does not divide into {shards} shards: {error}"
+        ) from error
+
+
+def shard_config(config: GPUConfig, shards: int) -> GPUConfig:
+    """Scale a full GPU config down to the slice one shard simulates.
+
+    Only the L2 is scaled: each shard worker keeps the full SM/L1/DRAM
+    complement and replays its sub-stream against them (the per-shard
+    front ends are the modeling approximation docs/sharding.md spells
+    out; it vanishes at ``shards=1``).
+    """
+    scaled_l2 = shard_l2_config(config.l2, shards)
+    if scaled_l2 is config.l2:
+        return config
+    return replace(config, l2=scaled_l2)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Everything fixed before any worker runs."""
+
+    shards: int
+    shard_bits: int
+    line_size: int
+    #: the scaled per-shard GPU config every worker receives
+    sub_config: GPUConfig
+
+    @property
+    def banks_per_shard(self) -> int:
+        """Local banks inside one shard (``num_banks / shards`` globally)."""
+        return self.sub_config.l2.num_banks
+
+    def global_bank(self, shard: int, local_bank: int) -> int:
+        """Map a shard's local bank index back to the global bank id."""
+        return (local_bank << self.shard_bits) | shard
+
+
+def plan_shards(config: GPUConfig, shards: int) -> ShardPlan:
+    """Validate and fix the shard decomposition for one run."""
+    sub_config = shard_config(config, shards)
+    return ShardPlan(
+        shards=shards,
+        shard_bits=log2_int(shards),
+        line_size=config.l2.line_size,
+        sub_config=sub_config,
+    )
+
+
+def partition_trace(
+    trace: Trace, line_size: int, shards: int
+) -> List[Optional[Trace]]:
+    """Split a trace into per-shard sub-streams, order-preserving.
+
+    Shard ``s`` owns every access whose line-interleaved bank id (under
+    ``num_banks = shards``) is ``s``; within a shard, accesses keep their
+    original trace order, which is what makes per-bank busy-until timing
+    reproducible.  Sub-stream addresses have the shard-selector bits
+    dropped from the line number (see the module docstring).  A shard
+    that owns no accesses gets ``None`` — :class:`~repro.workloads.trace.Trace`
+    cannot be empty, and an idle shard needs no worker anyway.
+    """
+    from repro.cache.banked import BankedCache
+
+    if shards == 1:
+        return [trace]
+    router = BankedCache(shards, line_size)
+    owner = router.assign(trace.address)
+    shift = log2_int(line_size)
+    shard_bits = log2_int(shards)
+    offset_mask = line_size - 1
+    subs: List[Optional[Trace]] = []
+    for shard in range(shards):
+        mask = owner == shard
+        if not bool(mask.any()):
+            subs.append(None)
+            continue
+        address = trace.address[mask]
+        remapped = (
+            ((address >> (shift + shard_bits)) << shift)
+            | (address & offset_mask)
+        )
+        subs.append(Trace(trace.sm[mask], remapped, trace.flags[mask]))
+    return subs

@@ -3,8 +3,9 @@
 A lightweight pydocstyle-style gate: every module, public class and public
 function in ``repro.experiments.*``, ``repro.telemetry``, ``repro.io``,
 ``repro.tracing.*``, ``repro.benchmarks``, the replay hot path
-(``repro.cache.*``, ``repro.gpu.*``) and the SoA engine
-(``repro.engine.*``) must carry a docstring, and the experiment modules'
+(``repro.cache.*``, ``repro.gpu.*``), the SoA engine
+(``repro.engine.*``) and the sharded engine (``repro.shard.*``) must
+carry a docstring, and the experiment modules'
 docstrings must state their job-decomposition contract.
 """
 
@@ -18,6 +19,7 @@ import repro.cache
 import repro.engine
 import repro.experiments
 import repro.gpu
+import repro.shard
 
 CHECKED_MODULES = sorted(
     f"repro.experiments.{m.name}"
@@ -31,8 +33,12 @@ CHECKED_MODULES = sorted(
 ) + sorted(
     f"repro.engine.{m.name}"
     for m in pkgutil.iter_modules(repro.engine.__path__)
+) + sorted(
+    f"repro.shard.{m.name}"
+    for m in pkgutil.iter_modules(repro.shard.__path__)
 ) + [
     "repro.experiments", "repro.cache", "repro.gpu", "repro.engine",
+    "repro.shard",
     "repro.telemetry", "repro.io", "repro.benchmarks",
     "repro.tracing", "repro.tracing.collector", "repro.tracing.schema",
 ]
