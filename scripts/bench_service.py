@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Service load-test CLI (see ``repro.service.bench`` for the harness).
+
+Fires a storm of mixed cached/uncached requests at an in-process
+simulation server over real TCP, writes a schema-validated JSON
+document, and optionally gates against a committed baseline:
+
+    python scripts/bench_service.py --out BENCH_service.json
+    python scripts/bench_service.py --quick \
+        --baseline BENCH_service.json
+
+Exit status: 0 on success; 1 when the comparison found a digest change
+(pinned inputs must produce byte-identical payloads at any load) or a
+performance regression beyond the generous thresholds; 2 on bad usage.
+``docs/service.md`` documents the schema and the gate policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.errors import ServiceError  # noqa: E402  (path setup first)
+from repro.io import load_json  # noqa: E402
+from repro.service.bench import (  # noqa: E402
+    DEFAULT_LATENCY_THRESHOLD,
+    DEFAULT_THROUGHPUT_THRESHOLD,
+    compare_service_bench,
+    run_load_test,
+    validate_service_bench,
+    write_service_bench,
+)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="300-request storm instead of 3000 (CI smoke)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="override the storm size")
+    parser.add_argument("--connections", type=int, default=8,
+                        help="concurrent client connections (default 8)")
+    parser.add_argument("--trace-length", type=int, default=4000,
+                        help="accesses per simulation (default 4000)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="storm plan + workload seed (default 0)")
+    parser.add_argument("--pool-shards", type=int, default=2,
+                        help="server worker-pool shards (default 2)")
+    parser.add_argument("--pool-kind", choices=["thread", "process"],
+                        default="thread",
+                        help="server worker kind (default thread)")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the bench document to FILE")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="compare against a baseline bench document")
+    parser.add_argument("--throughput-threshold", type=float,
+                        default=DEFAULT_THROUGHPUT_THRESHOLD,
+                        help="fail below (1-T) of baseline throughput "
+                             f"(default {DEFAULT_THROUGHPUT_THRESHOLD})")
+    parser.add_argument("--latency-threshold", type=float,
+                        default=DEFAULT_LATENCY_THRESHOLD,
+                        help="fail above baseline p50 * (1+T) "
+                             f"(default {DEFAULT_LATENCY_THRESHOLD})")
+    args = parser.parse_args(argv)
+
+    try:
+        document = run_load_test(
+            quick=args.quick,
+            requests=args.requests,
+            connections=args.connections,
+            trace_length=args.trace_length,
+            seed=args.seed,
+            pool_shards=args.pool_shards,
+            pool_kind=args.pool_kind,
+        )
+        validate_service_bench(document)
+    except ServiceError as error:
+        print(f"bench error: {error}", file=sys.stderr)
+        return 2
+
+    metrics = document["metrics"]
+    print(
+        f"storm: {document['params']['requests']} requests over "
+        f"{document['params']['connections']} connections in "
+        f"{metrics['wall_s']:.2f}s "
+        f"({metrics['requests_per_s']:.0f} req/s)"
+    )
+    print(
+        f"latency: p50 {metrics['p50_ms']:.1f}ms "
+        f"p99 {metrics['p99_ms']:.1f}ms mean {metrics['mean_ms']:.1f}ms"
+    )
+    print(
+        f"cache: hit rate {metrics['cache_hit_rate']:.3f}, "
+        f"{metrics['coalesced']} coalesced, "
+        f"{metrics['simulations_run']} simulations run for "
+        f"{document['params']['unique_scenarios']} unique scenarios"
+    )
+    for record in document["scenarios"]:
+        print(
+            f"{record['benchmark']}/{record['config']} "
+            f"len={record['trace_length']} seed={record['seed']} "
+            f"engine={record['engine']}: "
+            f"digest={record['payload_sha256'][:12]}"
+        )
+
+    if args.out:
+        write_service_bench(document, args.out)
+        print(f"wrote {args.out}")
+
+    if args.baseline:
+        try:
+            baseline = load_json(args.baseline)
+            report = compare_service_bench(
+                document,
+                baseline,
+                throughput_threshold=args.throughput_threshold,
+                latency_threshold=args.latency_threshold,
+            )
+        except (ServiceError, OSError) as error:
+            print(f"comparison error: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"vs baseline: throughput {report['throughput_ratio']:.2f}x, "
+            f"p50 latency {report['latency_ratio']:.2f}x, "
+            f"{len(report['matched'])} scenario(s) matched"
+        )
+        if not report["ok"]:
+            print(
+                "FAIL: " + json.dumps(
+                    {
+                        k: report[k]
+                        for k in (
+                            "digests_changed",
+                            "throughput_regressed",
+                            "latency_regressed",
+                        )
+                    }
+                ),
+                file=sys.stderr,
+            )
+            return 1
+        print("comparison ok: digests identical, no regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,14 @@ Subcommands
     Replay a seeded workload through the optimized two-part L2 and the
     naive reference model in lockstep and diff every observable outcome;
     exits non-zero iff the models diverge.  See ``docs/oracle.md``.
+``serve``
+    Run the simulation service: an async JSON-over-TCP server with a
+    shared result store, request coalescing, and a sharded worker pool.
+    See ``docs/service.md``.
+``submit``
+    Submit one request (simulate, experiment, ping, stats, shutdown) to
+    a running service.  An unreachable server exits 2 with a one-line
+    diagnostic, matching the unknown-experiment convention.
 """
 
 from __future__ import annotations
@@ -318,6 +326,147 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import tempfile
+
+    from repro.errors import ServiceError
+    from repro.service import ShardedWorkerPool, SharedResultStore, SimulationServer
+
+    log_handle = None
+    if args.log:
+        log_handle = open(args.log, "a", encoding="utf-8")
+
+    def log(line: str) -> None:
+        # the announce line goes to stdout so scripts (and the
+        # service-smoke CI job) can parse the bound port; --log tees a
+        # copy to a file for post-mortem artifacts
+        print(f"repro-sttgpu serve: {line}", flush=True)
+        if log_handle is not None:
+            log_handle.write(line + "\n")
+            log_handle.flush()
+
+    tmp = None
+    try:
+        pool = ShardedWorkerPool(shards=args.pool_shards, kind=args.pool_kind)
+        store_dir = args.store_dir
+        if store_dir is None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-service-")
+            store_dir = tmp.name
+        store = SharedResultStore(
+            store_dir,
+            max_entries=args.max_entries,
+            max_bytes=args.max_bytes,
+        )
+    except ServiceError as exc:
+        print(f"repro-sttgpu serve: {exc}", file=sys.stderr)
+        if tmp is not None:
+            tmp.cleanup()
+        if log_handle is not None:
+            log_handle.close()
+        return 2
+    server = SimulationServer(
+        host=args.host,
+        port=args.port,
+        store=store,
+        pool=pool,
+        log=log,
+        drain_timeout_s=args.drain_timeout,
+    )
+    try:
+        asyncio.run(server.serve())
+    except KeyboardInterrupt:
+        return 130
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+        if log_handle is not None:
+            log_handle.close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceConnectionError, ServiceError
+    from repro.service import ServiceClient
+
+    modes = sum(
+        (
+            args.ping,
+            args.stats,
+            args.shutdown,
+            args.experiment is not None,
+            args.benchmark is not None,
+        )
+    )
+    if modes != 1:
+        print(
+            "repro-sttgpu submit: give exactly one of BENCHMARK CONFIG, "
+            "--experiment NAME, --ping, --stats, or --shutdown",
+            file=sys.stderr,
+        )
+        return 2
+    if args.benchmark is not None and args.config is None:
+        print(
+            "repro-sttgpu submit: BENCHMARK needs a CONFIG "
+            "(e.g. repro-sttgpu submit bfs C1)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with ServiceClient(
+            host=args.host, port=args.port, timeout_s=args.timeout
+        ) as client:
+            if args.ping:
+                response = client.ping()
+                print(f"pong (protocol {response['protocol']})")
+            elif args.stats:
+                stats = client.stats()
+                from repro.io import canonical_json
+
+                print(canonical_json(stats))
+            elif args.shutdown:
+                client.shutdown()
+                print("server draining")
+            elif args.experiment is not None:
+                response = client.experiment(
+                    args.experiment,
+                    trace_length=args.trace_length,
+                    seed=args.seed,
+                )
+                print(f"experiment     : {args.experiment}")
+                print(f"digest         : {response['digest']}")
+                print(f"jobs           : {response['jobs']}")
+            else:
+                response = client.simulate(
+                    args.benchmark,
+                    args.config,
+                    trace_length=args.trace_length,
+                    seed=args.seed,
+                    engine=args.engine,
+                    shards=args.shards,
+                )
+                payload = response["payload"]
+                print(f"benchmark      : {payload['workload']}")
+                print(f"config         : {payload['config']}")
+                print(f"cache          : {response['cache']}")
+                print(f"digest         : {response['digest']}")
+                print(f"IPC            : {payload['ipc']:.2f}")
+                print(f"L2 hit rate    : {payload['l2_hit_rate']:.3f}")
+                print(f"L2 total W     : {payload['l2_total_power_w']:.4f}")
+            if args.json:
+                from repro.io import write_json_atomic
+
+                write_json_atomic(response if not args.stats else stats, args.json)
+                print(f"wrote {args.json}")
+    except ServiceConnectionError as exc:
+        print(f"repro-sttgpu submit: {exc}", file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(f"repro-sttgpu submit: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_configs(_args: argparse.Namespace) -> int:
     from repro.config import render_table2
 
@@ -445,6 +594,78 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a Chrome/Perfetto trace with the "
                              "oracle.divergence event on the DUT timeline")
     p_diff.set_defaults(func=_cmd_diff)
+
+    from repro.service.pool import POOL_KINDS
+    from repro.service.protocol import DEFAULT_PORT
+    from repro.service.server import DEFAULT_DRAIN_TIMEOUT_S
+
+    p_srv = sub.add_parser(
+        "serve", help="run the simulation service (see docs/service.md)"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help=f"TCP port; 0 binds an ephemeral port and "
+                            f"announces it (default {DEFAULT_PORT})")
+    p_srv.add_argument("--store-dir", metavar="DIR", default=None,
+                       help="shared result store directory (default: a "
+                            "temporary directory, discarded on exit); "
+                            "share one DIR with --cache-dir batteries to "
+                            "share their key space")
+    p_srv.add_argument("--max-entries", type=int, default=None, metavar="N",
+                       help="LRU-evict the store beyond N entries "
+                            "(default: unbounded)")
+    p_srv.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                       help="LRU-evict the store beyond N payload bytes "
+                            "(default: unbounded)")
+    p_srv.add_argument("--pool-shards", type=int, default=2, metavar="N",
+                       help="worker pool shards; jobs route by digest "
+                            "(default 2)")
+    p_srv.add_argument("--pool-kind", choices=POOL_KINDS, default="thread",
+                       help="worker kind per shard (default thread; "
+                            "process gives true parallelism)")
+    p_srv.add_argument("--drain-timeout", type=float,
+                       default=DEFAULT_DRAIN_TIMEOUT_S, metavar="SECONDS",
+                       help="max seconds a draining shutdown waits for "
+                            "in-flight jobs "
+                            f"(default {DEFAULT_DRAIN_TIMEOUT_S:g})")
+    p_srv.add_argument("--log", metavar="FILE", default=None,
+                       help="tee lifecycle log lines to FILE (CI uploads "
+                            "this artifact on failure)")
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit", help="submit one request to a running service"
+    )
+    p_sub.add_argument("benchmark", nargs="?", default=None,
+                       help=f"benchmark to simulate (one of {suite_names()})")
+    p_sub.add_argument("config", nargs="?", default=None,
+                       help="config to simulate on (see repro-sttgpu configs)")
+    p_sub.add_argument("--host", default="127.0.0.1",
+                       help="server address (default 127.0.0.1)")
+    p_sub.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help=f"server port (default {DEFAULT_PORT})")
+    p_sub.add_argument("--experiment", metavar="NAME", default=None,
+                       help=f"run a whole experiment: one of {EXPERIMENTS}")
+    p_sub.add_argument("--ping", action="store_true",
+                       help="round-trip a ping and exit")
+    p_sub.add_argument("--stats", action="store_true",
+                       help="print the server stats document as JSON")
+    p_sub.add_argument("--shutdown", action="store_true",
+                       help="ask the server to drain and exit")
+    p_sub.add_argument("--trace-length", type=int, default=None,
+                       help=f"accesses to replay (default {DEFAULT_TRACE_LENGTH})")
+    p_sub.add_argument("--seed", type=int, default=0)
+    p_sub.add_argument("--engine", choices=ENGINES, default=None,
+                       help="replay engine (default: soa where supported)")
+    p_sub.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="bank shards for --engine sharded")
+    p_sub.add_argument("--timeout", type=float, default=600.0,
+                       metavar="SECONDS",
+                       help="socket timeout per operation (default 600)")
+    p_sub.add_argument("--json", metavar="FILE", default=None,
+                       help="also write the full response to FILE as JSON")
+    p_sub.set_defaults(func=_cmd_submit)
 
     p_cfg = sub.add_parser("configs", help="print Table 2")
     p_cfg.set_defaults(func=_cmd_configs)

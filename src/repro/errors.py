@@ -50,3 +50,11 @@ class InvariantViolationError(SimulationError):
 
 class OracleError(ReproError):
     """The differential oracle was misused or a report is malformed."""
+
+
+class ServiceError(ReproError):
+    """A simulation-service request, response, or document is invalid."""
+
+
+class ServiceConnectionError(ServiceError):
+    """The simulation service is unreachable or dropped the connection."""

@@ -241,6 +241,7 @@ def run_battery(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
+    cache: Optional[ResultCache] = None,
 ) -> Tuple[Dict[str, ExperimentResult], RunTelemetry]:
     """Run a set of experiments with fan-out, caching and telemetry.
 
@@ -249,6 +250,12 @@ def run_battery(
     ``(trace_length, benchmarks, seed)`` — jobs are executed (or loaded)
     independently and merged in decomposition order by the same merge code
     the serial path uses.
+
+    ``cache`` accepts a pre-built :class:`~repro.telemetry.ResultCache`
+    (for example the simulation service's shared
+    :class:`~repro.service.SharedResultStore`) and takes precedence over
+    ``cache_dir``; both paths share one key space, so battery runs and the
+    service serve each other's entries.
 
     Returns ``(results keyed by experiment name, run telemetry)``.
     """
@@ -267,7 +274,13 @@ def run_battery(
         for spec in specs:
             needed_by.setdefault(spec, []).append(name)
 
-    cache = ResultCache(cache_dir) if (cache_dir and use_cache) else None
+    if cache is None and cache_dir and use_cache:
+        cache = ResultCache(cache_dir)
+    elif not use_cache:
+        cache = None
+    cache_dir = cache_dir if cache_dir else (
+        str(cache.root) if cache is not None else None
+    )
     telemetry = RunTelemetry(
         jobs=jobs,
         cache_dir=str(cache_dir) if cache_dir else None,

@@ -1,0 +1,441 @@
+"""Service load-test harness: latency/throughput under a mixed request storm.
+
+Fires thousands of mixed cached/uncached ``simulate`` requests at an
+in-process :class:`~repro.service.server.SimulationServer` over real TCP
+connections (one client thread per connection, measuring end-to-end
+wall latency per request) and records:
+
+* **p50 / p99 / mean latency** — exact percentiles over every request;
+* **throughput** — completed requests per second of storm wall time;
+* **cache behaviour** — hit rate, coalesced count, and the number of
+  simulations actually run (the dedup guarantee made measurable);
+* **result digests** — the coalescing digest and payload SHA-256 per
+  unique scenario, which must never change for pinned inputs.
+
+``BENCH_service.json`` at the repo root is the committed baseline;
+``scripts/bench_service.py`` is the CLI and the ``load-smoke`` CI job
+gates fresh runs against the baseline: schema always, **digest changes
+always fail**, and latency/throughput regress only past *generous*
+thresholds because hosted runners are noisy (docs/service.md documents
+the policy).
+
+Document schema (``SERVICE_BENCH_SCHEMA_VERSION = 1``)::
+
+    {
+      "schema_version": 1,
+      "kind": "service-bench",
+      "quick": false,
+      "host": {...},                       # repro.benchmarks.host_metadata
+      "params": {"requests", "connections", "trace_length", "seed",
+                 "unique_scenarios", "pool_shards", "pool_kind"},
+      "metrics": {"wall_s", "requests_per_s", "p50_ms", "p99_ms",
+                  "mean_ms", "cache_hit_rate", "coalesced",
+                  "simulations_run", "errors"},
+      "scenarios": [{"benchmark", "config", "trace_length", "seed",
+                     "engine", "digest", "payload_sha256"}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import queue
+import random
+import threading
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.benchmarks import host_metadata
+from repro.errors import ServiceError
+from repro.io import canonical_json, write_json_atomic
+
+#: Schema version stamped into every service bench document.
+SERVICE_BENCH_SCHEMA_VERSION = 1
+
+#: Document ``kind`` marker.
+SERVICE_BENCH_KIND = "service-bench"
+
+#: Fail when throughput falls below (1 - threshold) of baseline.  The
+#: default is deliberately generous (hosted CI runners are noisy, and a
+#: --quick storm amortizes its cold simulations over fewer requests);
+#: digest mismatches fail at any speed.
+DEFAULT_THROUGHPUT_THRESHOLD = 0.75
+
+#: Fail when *p50* latency exceeds baseline * (1 + threshold).  The gate
+#: uses p50, not p99: the median is the cache-hit service time and is
+#: invariant to storm size, while the p99 tail's weight depends on the
+#: ratio of cold misses to total requests (6 cold scenarios are the top
+#: 2% of a 300-request quick storm but only the top 0.2% of the full
+#: 3000).  p99 is still recorded for humans.
+DEFAULT_LATENCY_THRESHOLD = 4.0
+
+#: The pinned unique scenarios of the storm: every L2 access path (two
+#: part C1-C3, both uniform baselines) across write-heavy and read-heavy
+#: benchmarks.  All requests in a storm draw from these, so the digest
+#: set is comparable between --quick and full runs.
+LOAD_SCENARIOS: Sequence[Tuple[str, str]] = (
+    ("bfs", "C1"),
+    ("stencil", "baseline"),
+    ("backprop", "stt-baseline"),
+    ("nn", "C2"),
+    ("lbm", "C3"),
+    ("kmeans", "C1"),
+)
+
+#: Default storm sizes (requests fired) for full and quick runs.
+DEFAULT_REQUESTS = 3000
+QUICK_REQUESTS = 300
+
+
+def _build_plan(
+    requests: int, scenarios: Sequence[Tuple[str, str]], seed: int
+) -> List[Tuple[str, str]]:
+    """The deterministic request arrival order of one storm.
+
+    Every unique scenario appears at least once; the remainder are
+    duplicates drawn with a seeded RNG, shuffled so cached and uncached
+    requests interleave the way a real exploration burst would.
+    """
+    if requests < len(scenarios):
+        raise ServiceError(
+            f"requests ({requests}) must cover the {len(scenarios)} "
+            f"unique scenarios at least once"
+        )
+    rng = random.Random(seed)
+    plan = list(scenarios)
+    plan.extend(
+        scenarios[rng.randrange(len(scenarios))]
+        for _ in range(requests - len(scenarios))
+    )
+    rng.shuffle(plan)
+    return plan
+
+
+def run_load_test(
+    quick: bool = False,
+    requests: Optional[int] = None,
+    connections: int = 8,
+    trace_length: int = 4000,
+    seed: int = 0,
+    pool_shards: int = 2,
+    pool_kind: str = "thread",
+    store_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run one storm against a fresh in-process server; returns the document.
+
+    The server starts on an ephemeral port with a fresh (or caller-given)
+    store directory, ``connections`` client threads drain a shared queue
+    of ``requests`` planned arrivals, and the document above is built
+    from the measured latencies plus the server's own stats counters.
+    """
+    import tempfile
+
+    from repro.service.pool import ShardedWorkerPool
+    from repro.service.server import ServerThread, SimulationServer
+    from repro.service.store import SharedResultStore
+
+    if requests is None:
+        requests = QUICK_REQUESTS if quick else DEFAULT_REQUESTS
+    if connections < 1:
+        raise ServiceError(f"connections must be >= 1, got {connections}")
+    plan = _build_plan(requests, LOAD_SCENARIOS, seed)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = SharedResultStore(store_dir or tmp)
+        server = SimulationServer(
+            port=0,
+            store=store,
+            pool=ShardedWorkerPool(shards=pool_shards, kind=pool_kind),
+            log=lambda line: None,
+        )
+        with ServerThread(server) as running:
+            document = _storm(
+                running.port, plan, connections, trace_length, seed, quick
+            )
+    document["params"].update(
+        {"pool_shards": pool_shards, "pool_kind": pool_kind}
+    )
+    return document
+
+
+def _storm(
+    port: int,
+    plan: Sequence[Tuple[str, str]],
+    connections: int,
+    trace_length: int,
+    seed: int,
+    quick: bool,
+) -> Dict[str, Any]:
+    """Fire the planned requests over ``connections`` client threads."""
+    from repro.service.client import ServiceClient
+
+    work: "queue.Queue" = queue.Queue()
+    for item in plan:
+        work.put(item)
+    latencies: List[float] = []
+    digests: Dict[Tuple[str, str], Dict[str, str]] = {}
+    failures: List[str] = []
+    lock = threading.Lock()
+
+    def drain() -> None:
+        with ServiceClient(port=port) as client:
+            while True:
+                try:
+                    benchmark, config = work.get_nowait()
+                except queue.Empty:
+                    return
+                started = time.perf_counter()
+                try:
+                    response = client.simulate(
+                        benchmark, config, trace_length=trace_length, seed=seed
+                    )
+                except ServiceError as error:
+                    with lock:
+                        failures.append(f"{benchmark}/{config}: {error}")
+                    continue
+                elapsed = time.perf_counter() - started
+                payload_sha = hashlib.sha256(
+                    canonical_json(response["payload"]).encode("utf-8")
+                ).hexdigest()
+                with lock:
+                    latencies.append(elapsed)
+                    recorded = digests.setdefault(
+                        (benchmark, config),
+                        {
+                            "digest": response["digest"],
+                            "payload_sha256": payload_sha,
+                        },
+                    )
+                    if recorded["payload_sha256"] != payload_sha:
+                        failures.append(
+                            f"{benchmark}/{config}: payload digest changed "
+                            f"mid-storm"
+                        )
+
+    threads = [
+        threading.Thread(target=drain, name=f"storm-{i}", daemon=True)
+        for i in range(connections)
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+
+    with ServiceClient(port=port) as client:
+        stats = client.stats()
+
+    if failures:
+        raise ServiceError(
+            f"storm had {len(failures)} failures: {failures[:3]}"
+        )
+    if len(latencies) != len(plan):
+        raise ServiceError(
+            f"storm lost requests: {len(latencies)}/{len(plan)} completed"
+        )
+    ordered = sorted(latencies)
+
+    def pct(q: float) -> float:
+        index = min(len(ordered) - 1, max(0, int(len(ordered) * q / 100.0)))
+        return ordered[index]
+
+    cache = stats["cache"]
+    served = cache["hits"] + cache["misses"] + cache["coalesced"]
+    return {
+        "schema_version": SERVICE_BENCH_SCHEMA_VERSION,
+        "kind": SERVICE_BENCH_KIND,
+        "quick": quick,
+        "host": host_metadata(),
+        "params": {
+            "requests": len(plan),
+            "connections": connections,
+            "trace_length": trace_length,
+            "seed": seed,
+            "unique_scenarios": len(digests),
+        },
+        "metrics": {
+            "wall_s": wall,
+            "requests_per_s": len(plan) / wall,
+            "p50_ms": pct(50) * 1e3,
+            "p99_ms": pct(99) * 1e3,
+            "mean_ms": sum(ordered) / len(ordered) * 1e3,
+            "cache_hit_rate": cache["hits"] / served if served else 0.0,
+            "coalesced": cache["coalesced"],
+            "simulations_run": stats["simulations_run"],
+            "errors": stats["errors"],
+        },
+        "scenarios": [
+            {
+                "benchmark": benchmark,
+                "config": config,
+                "trace_length": trace_length,
+                "seed": seed,
+                "engine": "soa",
+                "digest": entry["digest"],
+                "payload_sha256": entry["payload_sha256"],
+            }
+            for (benchmark, config), entry in sorted(digests.items())
+        ],
+    }
+
+
+#: Required metric fields (and types) of one service bench document.
+_METRIC_FIELDS = {
+    "wall_s": (int, float),
+    "requests_per_s": (int, float),
+    "p50_ms": (int, float),
+    "p99_ms": (int, float),
+    "mean_ms": (int, float),
+    "cache_hit_rate": (int, float),
+    "coalesced": int,
+    "simulations_run": int,
+    "errors": int,
+}
+
+_SCENARIO_FIELDS = {
+    "benchmark": str,
+    "config": str,
+    "trace_length": int,
+    "seed": int,
+    "engine": str,
+    "digest": str,
+    "payload_sha256": str,
+}
+
+
+def validate_service_bench(document: Mapping[str, Any]) -> None:
+    """Validate a service bench document; raises ``ServiceError`` on problems."""
+    if not isinstance(document, Mapping):
+        raise ServiceError(
+            f"bench document must be an object, got {type(document).__name__}"
+        )
+    if document.get("schema_version") != SERVICE_BENCH_SCHEMA_VERSION:
+        raise ServiceError(
+            f"unsupported service bench schema "
+            f"{document.get('schema_version')!r} "
+            f"(expected {SERVICE_BENCH_SCHEMA_VERSION})"
+        )
+    if document.get("kind") != SERVICE_BENCH_KIND:
+        raise ServiceError(
+            f"not a service bench document: kind={document.get('kind')!r}"
+        )
+    host = document.get("host")
+    if not isinstance(host, Mapping) or not {"platform", "python", "cpus"} <= set(host):
+        raise ServiceError(f"malformed host metadata: {host!r}")
+    metrics = document.get("metrics")
+    if not isinstance(metrics, Mapping):
+        raise ServiceError(f"malformed metrics: {metrics!r}")
+    for name, types in _METRIC_FIELDS.items():
+        if name not in metrics:
+            raise ServiceError(f"metrics missing field {name!r}")
+        if not isinstance(metrics[name], types) or isinstance(metrics[name], bool):
+            raise ServiceError(
+                f"metrics field {name!r} has wrong type: {metrics[name]!r}"
+            )
+    if metrics["wall_s"] <= 0 or metrics["requests_per_s"] <= 0:
+        raise ServiceError(f"non-positive timing in metrics: {metrics!r}")
+    if not 0 <= metrics["cache_hit_rate"] <= 1:
+        raise ServiceError(
+            f"cache_hit_rate out of [0, 1]: {metrics['cache_hit_rate']!r}"
+        )
+    scenarios = document.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        raise ServiceError("bench document needs a non-empty scenarios list")
+    for record in scenarios:
+        for name, types in _SCENARIO_FIELDS.items():
+            if name not in record:
+                raise ServiceError(
+                    f"scenario missing field {name!r}: {record!r}"
+                )
+            if not isinstance(record[name], types) or isinstance(record[name], bool):
+                raise ServiceError(
+                    f"scenario field {name!r} has wrong type: {record[name]!r}"
+                )
+
+
+def _scenario_key(record: Mapping[str, Any]) -> str:
+    return (
+        f"{record['benchmark']}/{record['config']}/"
+        f"{record['trace_length']}/s{record['seed']}/{record['engine']}"
+    )
+
+
+def compare_service_bench(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    throughput_threshold: float = DEFAULT_THROUGHPUT_THRESHOLD,
+    latency_threshold: float = DEFAULT_LATENCY_THRESHOLD,
+) -> Dict[str, Any]:
+    """Gate a fresh load-test run against the committed baseline.
+
+    Digest rules are absolute: every scenario key present in both
+    documents must carry identical ``digest`` and ``payload_sha256``
+    (pinned inputs must give identical outputs at any load).  Performance
+    rules are generous by design: throughput fails below
+    ``(1 - throughput_threshold)`` of baseline, p50 latency fails above
+    ``baseline * (1 + latency_threshold)`` (p50, because the p99 tail is
+    not comparable across storm sizes — see
+    :data:`DEFAULT_LATENCY_THRESHOLD`).  Returns a JSON-safe report with
+    an overall ``ok`` flag; exiting non-zero is the CLI's job.
+    """
+    if not 0 <= throughput_threshold < 1:
+        raise ServiceError(
+            f"throughput threshold must be in [0, 1), got {throughput_threshold}"
+        )
+    if latency_threshold < 0:
+        raise ServiceError(
+            f"latency threshold must be >= 0, got {latency_threshold}"
+        )
+    validate_service_bench(current)
+    validate_service_bench(baseline)
+    base_by_key = {_scenario_key(r): r for r in baseline["scenarios"]}
+    digests_changed: List[str] = []
+    matched: List[str] = []
+    for record in current["scenarios"]:
+        key = _scenario_key(record)
+        base = base_by_key.get(key)
+        if base is None:
+            continue
+        matched.append(key)
+        if (
+            record["digest"] != base["digest"]
+            or record["payload_sha256"] != base["payload_sha256"]
+        ):
+            digests_changed.append(key)
+    if not matched:
+        raise ServiceError("no scenarios matched the baseline")
+
+    current_metrics = current["metrics"]
+    baseline_metrics = baseline["metrics"]
+    throughput_ratio = (
+        current_metrics["requests_per_s"] / baseline_metrics["requests_per_s"]
+    )
+    latency_ratio = (
+        current_metrics["p50_ms"] / baseline_metrics["p50_ms"]
+        if baseline_metrics["p50_ms"] > 0
+        else 1.0
+    )
+    throughput_regressed = throughput_ratio < 1.0 - throughput_threshold
+    latency_regressed = latency_ratio > 1.0 + latency_threshold
+    return {
+        "matched": sorted(matched),
+        "digests_changed": sorted(digests_changed),
+        "throughput_ratio": throughput_ratio,
+        "latency_ratio": latency_ratio,
+        "throughput_regressed": throughput_regressed,
+        "latency_regressed": latency_regressed,
+        "thresholds": {
+            "throughput": throughput_threshold,
+            "latency": latency_threshold,
+        },
+        "ok": not digests_changed
+        and not throughput_regressed
+        and not latency_regressed,
+    }
+
+
+def write_service_bench(document: Mapping[str, Any], path) -> None:
+    """Validate and atomically write a service bench document as JSON."""
+    validate_service_bench(document)
+    write_json_atomic(dict(document), path)

@@ -1,0 +1,84 @@
+"""In-flight request coalescing: one running job per unique digest.
+
+Design-space exploration workloads are bursty and highly duplicated —
+many clients asking the same (config, workload, seed, engine) question at
+once.  The result store only helps *after* the first answer lands;
+:class:`InflightTable` closes the window in between: the first request
+for a digest becomes the **leader** and actually computes, every
+concurrent duplicate becomes a **follower** that awaits the leader's
+future and receives the *same* payload object.  Leader failure propagates
+the exception to every follower (a follower never silently recomputes —
+it re-submits and becomes the new leader if it retries).
+
+The table is purely ``asyncio``-local: it protects against duplicate
+work *within one server*, while the shared store (atomic publishes, one
+key space) keeps duplicate work across servers merely redundant, never
+inconsistent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, Tuple
+
+from repro.tracing import NULL_TRACER
+
+
+class InflightTable:
+    """Coalesces concurrent jobs by digest onto one leader future."""
+
+    def __init__(self, tracer=NULL_TRACER) -> None:
+        """Create an empty table; ``tracer`` gets ``service.dedup.*``."""
+        self.tracer = tracer
+        self.leaders = 0
+        self.coalesced = 0
+        self._futures: Dict[str, "asyncio.Future[Any]"] = {}
+
+    @property
+    def inflight(self) -> int:
+        """Number of digests currently being computed."""
+        return len(self._futures)
+
+    async def run(
+        self, digest: str, factory: Callable[[], Awaitable[Any]]
+    ) -> Tuple[Any, bool]:
+        """Run (or join) the job for ``digest``.
+
+        Returns ``(result, coalesced)`` where ``coalesced`` is ``True``
+        iff this call joined a leader started by an earlier concurrent
+        call.  Exceptions raised by ``factory`` propagate to the leader
+        *and* every follower.
+        """
+        existing = self._futures.get(digest)
+        if existing is not None:
+            self.coalesced += 1
+            self.tracer.count("service.dedup.coalesced")
+            return await asyncio.shield(existing), True
+        future: "asyncio.Future[Any]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        # mark the exception retrieved even when no follower ever awaits,
+        # so a failed leader with zero followers does not warn at GC time
+        future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+        self._futures[digest] = future
+        self.leaders += 1
+        self.tracer.count("service.dedup.leaders")
+        try:
+            result = await factory()
+        except BaseException as error:
+            future.set_exception(error)
+            raise
+        else:
+            future.set_result(result)
+            return result, False
+        finally:
+            self._futures.pop(digest, None)
+
+    async def drain(self) -> None:
+        """Wait until every in-flight job has resolved (either way)."""
+        while self._futures:
+            await asyncio.gather(
+                *list(self._futures.values()), return_exceptions=True
+            )

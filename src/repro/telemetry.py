@@ -180,6 +180,12 @@ class ResultCache:
     holding the descriptor (for debuggability) and the payload.  Writes are
     atomic; corrupt or mismatched entries read as misses, never as wrong
     results.
+
+    :class:`repro.service.SharedResultStore` extends this class with
+    LRU/size eviction, hit/miss/eviction counters and a writer lock — the
+    concurrency-safe store behind the simulation service (docs/service.md).
+    Both share one key space, so a battery run with ``--cache-dir`` and a
+    service pointed at the same directory serve each other's entries.
     """
 
     def __init__(self, root: PathLike) -> None:
@@ -191,8 +197,12 @@ class ResultCache:
         """Where the entry for ``key`` lives on disk."""
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The payload cached under ``key``, or ``None`` on a miss."""
+    def read_entry(self, key: str) -> Optional[Dict[str, Any]]:
+        """The payload under ``key``; ``None`` for absent/corrupt/mismatched.
+
+        A truncated or otherwise unreadable entry is a *miss*, never an
+        error: callers recompute and overwrite it.
+        """
         path = self.path_for(key)
         if not path.exists():
             return None
@@ -207,15 +217,35 @@ class ResultCache:
             return None
         return entry.get("payload")
 
-    def put(self, key: str, descriptor: Mapping[str, Any], payload: Any) -> None:
-        """Store ``payload`` under ``key`` (descriptor kept for debugging)."""
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The payload cached under ``key``, or ``None`` on a miss."""
+        return self.read_entry(key)
+
+    def put(self, key: str, descriptor: Mapping[str, Any], payload: Any) -> Path:
+        """Store ``payload`` under ``key``; returns the path written.
+
+        The descriptor is kept alongside the payload for debuggability.
+        """
         entry = {
             "cache_schema_version": CACHE_SCHEMA_VERSION,
             "key": key,
             "descriptor": dict(descriptor),
             "payload": payload,
         }
-        write_json_atomic(entry, self.path_for(key))
+        path = self.path_for(key)
+        write_json_atomic(entry, path)
+        return path
+
+    def entries(self) -> List[Path]:
+        """Every entry file on disk, oldest modification first.
+
+        The deterministic (mtime, name) order is what lets an eviction
+        scan rebuilt after a restart agree with the order writes happened.
+        """
+        return sorted(
+            self.root.glob("*/*.json"),
+            key=lambda p: (p.stat().st_mtime, p.name),
+        )
 
     def __len__(self) -> int:
         """Number of entries currently on disk."""

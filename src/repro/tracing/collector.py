@@ -85,6 +85,29 @@ class Histogram:
         """Exact mean of all observed values (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (``0 < q <= 100``) in native units.
+
+        The estimate is the upper bound of the power-of-two bucket holding
+        the ``q``-th observation, clamped to the exact observed ``min`` /
+        ``max`` — a conservative (never-understated) figure suitable for
+        latency gates; exact to bucket resolution (a factor of two).
+        Returns ``0.0`` for an empty histogram.
+        """
+        if not 0 < q <= 100:
+            raise TracingError(f"percentile must be in (0, 100], got {q!r}")
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(self.count * q / 100.0))
+        seen = 0
+        for exponent in sorted(self.buckets):
+            seen += self.buckets[exponent]
+            if seen >= rank:
+                upper = float(1 << exponent) * self.unit
+                assert self.min is not None and self.max is not None
+                return min(max(upper, self.min), self.max)
+        return self.max if self.max is not None else 0.0
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe rendering; bucket keys are upper bounds in units."""
         return {
@@ -233,6 +256,14 @@ class TraceCollector:
             for name, value in self._counters.items()
             if name.startswith(prefix)
         }
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        """The live :class:`Histogram` under ``name`` (``None`` if unseen).
+
+        Lets callers (the simulation service's stats endpoint) compute
+        percentiles without re-parsing the exported dict form.
+        """
+        return self._histograms.get(name)
 
     def histograms_dict(self) -> Dict[str, Dict[str, Any]]:
         """Flat name -> :meth:`Histogram.to_dict` snapshot."""

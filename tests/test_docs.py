@@ -30,6 +30,7 @@ class TestLinks:
         assert "engine.md" in files
         assert "EXPERIMENTS.md" in files
         assert "DESIGN.md" in files
+        assert "service.md" in files
 
     def test_broken_link_is_detected(self, tmp_path):
         doc = tmp_path / "doc.md"
@@ -203,6 +204,86 @@ class TestShardingDocs:
 
         files = {p.name for p in check_docs_links.default_files(REPO_ROOT)}
         assert "sharding.md" in files
+
+
+class TestServiceDocs:
+    """docs/service.md's quickstart must actually run against a live
+    server — the same no-stale-examples rule the README gets."""
+
+    def _console_cases(self):
+        text = (REPO_ROOT / "docs" / "service.md").read_text()
+        match = re.search(r"```console\n(.*?)```", text, re.S)
+        assert match, "docs/service.md must keep the submit console example"
+        cases = []
+        for line in match.group(1).splitlines():
+            if line.startswith("$ repro-sttgpu "):
+                argv = line[len("$ repro-sttgpu "):].split("#")[0].split()
+                cases.append((argv, []))
+            elif line.strip() and cases:
+                cases[-1][1].append(line.rstrip())
+        return cases
+
+    def test_service_md_covers_the_contract(self):
+        text = (REPO_ROOT / "docs" / "service.md").read_text()
+        # the byte-identity promise, the dedup/eviction/drain semantics
+        # and the gate policy are the document's reason to exist
+        assert "byte-identical" in text
+        assert "coalesc" in text.lower()
+        assert "## Dedup semantics (request coalescing)" in text
+        assert "## The shared result store" in text
+        assert "## Draining shutdown" in text
+        assert "## The load-test harness and its gate" in text
+        assert "Digest changes always fail" in text
+
+    def test_quickstart_runs_against_a_live_server(self):
+        import tempfile
+
+        from repro.service import (
+            ServerThread,
+            SharedResultStore,
+            SimulationServer,
+        )
+        from repro.service.pool import ShardedWorkerPool
+
+        cases = self._console_cases()
+        assert cases, "docs/service.md quickstart has no submit commands"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        with tempfile.TemporaryDirectory() as tmp:
+            server = SimulationServer(
+                port=0,
+                store=SharedResultStore(tmp),
+                pool=ShardedWorkerPool(shards=1, kind="thread"),
+                log=lambda line: None,
+            )
+            with ServerThread(server) as running:
+                for argv, expected in cases:
+                    assert expected, f"{argv}: example must show output"
+                    # the doc shows the default port; replay on the live one
+                    argv = [
+                        str(running.port) if arg == "8642" else arg
+                        for arg in argv
+                    ]
+                    proc = subprocess.run(
+                        [sys.executable, "-m", "repro.cli", *argv],
+                        capture_output=True, text=True, env=env, timeout=600,
+                    )
+                    assert proc.returncode == 0, (argv, proc.stderr)
+                    for line in expected:
+                        assert line in proc.stdout, (
+                            f"docs/service.md example {' '.join(argv)} no "
+                            f"longer prints {line!r}:\n{proc.stdout}"
+                        )
+
+    def test_cross_linked_from_readme_architecture_and_performance(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        architecture = (REPO_ROOT / "docs" / "architecture.md").read_text()
+        performance = (REPO_ROOT / "docs" / "performance.md").read_text()
+        metrics = (REPO_ROOT / "docs" / "metrics.md").read_text()
+        assert "docs/service.md" in readme
+        assert "service.md" in architecture
+        assert "service.md" in performance
+        assert "service.md" in metrics
 
 
 class TestReadmeQuickstart:

@@ -4,7 +4,8 @@ A lightweight pydocstyle-style gate: every module, public class and public
 function in ``repro.experiments.*``, ``repro.telemetry``, ``repro.io``,
 ``repro.tracing.*``, ``repro.benchmarks``, the replay hot path
 (``repro.cache.*``, ``repro.gpu.*``), the SoA engine
-(``repro.engine.*``) and the sharded engine (``repro.shard.*``) must
+(``repro.engine.*``), the sharded engine (``repro.shard.*``) and the
+simulation service (``repro.service.*``) must
 carry a docstring, and the experiment modules'
 docstrings must state their job-decomposition contract.
 """
@@ -19,6 +20,7 @@ import repro.cache
 import repro.engine
 import repro.experiments
 import repro.gpu
+import repro.service
 import repro.shard
 
 CHECKED_MODULES = sorted(
@@ -36,9 +38,12 @@ CHECKED_MODULES = sorted(
 ) + sorted(
     f"repro.shard.{m.name}"
     for m in pkgutil.iter_modules(repro.shard.__path__)
+) + sorted(
+    f"repro.service.{m.name}"
+    for m in pkgutil.iter_modules(repro.service.__path__)
 ) + [
     "repro.experiments", "repro.cache", "repro.gpu", "repro.engine",
-    "repro.shard",
+    "repro.shard", "repro.service",
     "repro.telemetry", "repro.io", "repro.benchmarks",
     "repro.tracing", "repro.tracing.collector", "repro.tracing.schema",
 ]
