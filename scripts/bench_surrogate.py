@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Surrogate validation gate CLI (see ``repro.surrogate.validate``).
+
+Characterizes the suite, fits the surrogate, ground-truths the
+>= 200-point validation grid against the trace-driven engine, load-checks
+prediction throughput, writes the schema-validated ``BENCH_surrogate.json``
+document, and optionally gates against a committed baseline:
+
+    python scripts/bench_surrogate.py --out BENCH_surrogate.json
+    python scripts/bench_surrogate.py --baseline BENCH_surrogate.json
+
+Exit status: 0 on success; 1 when the comparison failed — the model or
+grid-results digest changed (**always** a failure: re-pin consciously), a
+median error bound exceeded the policy, or throughput fell below the
+floor; 2 on bad usage.  ``docs/surrogate.md`` documents the schema and
+the gate policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.errors import SurrogateError  # noqa: E402  (path setup first)
+from repro.io import load_json  # noqa: E402
+from repro.surrogate import (  # noqa: E402
+    compare_surrogate_bench,
+    run_surrogate_bench,
+    validate_surrogate_bench,
+    write_surrogate_bench,
+)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="content-keyed cache for anchor/ground-truth "
+                             "simulations and feature vectors (makes re-runs "
+                             "over an unchanged grid pure disk reads)")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the bench document to FILE")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="gate against a committed bench document")
+    args = parser.parse_args(argv)
+
+    try:
+        document = run_surrogate_bench(cache_dir=args.cache_dir)
+        validate_surrogate_bench(document)
+    except SurrogateError as error:
+        print(f"surrogate bench error: {error}", file=sys.stderr)
+        return 2
+
+    print(
+        f"grid: {document['params']['grid_points']} points over "
+        f"{len(document['params']['configs'])} configs x "
+        f"{len(document['params']['benchmarks'])} benchmarks "
+        f"(anchors {document['params']['anchor_lengths']})"
+    )
+    for metric, bounds in sorted(document["errors"].items()):
+        print(
+            f"{metric}: median {bounds['median_abs_rel_err']:.2%} "
+            f"p90 {bounds['p90_abs_rel_err']:.2%} "
+            f"max {bounds['max_abs_rel_err']:.2%}"
+        )
+    throughput = document["throughput"]
+    print(
+        f"throughput: {throughput['predictions_per_s']:.0f} predictions/s "
+        f"({throughput['predictions']} predictions in "
+        f"{throughput['wall_s']:.2f}s)"
+    )
+    print(f"model digest : {document['model_digest'][:12]}")
+    print(f"points digest: {document['points_digest'][:12]}")
+
+    if args.out:
+        write_surrogate_bench(document, args.out)
+        print(f"wrote {args.out}")
+
+    if args.baseline:
+        try:
+            baseline = load_json(args.baseline)
+            report = compare_surrogate_bench(document, baseline)
+        except (SurrogateError, OSError) as error:
+            print(f"comparison error: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"vs baseline: model digest "
+            f"{'match' if report['model_digest_match'] else 'CHANGED'}, "
+            f"points digest "
+            f"{'match' if report['points_digest_match'] else 'CHANGED'}, "
+            f"throughput {'ok' if report['throughput_ok'] else 'BELOW FLOOR'}"
+        )
+        if not report["ok"]:
+            print("FAIL: " + json.dumps({
+                k: report[k] for k in (
+                    "model_digest_match", "points_digest_match",
+                    "error_violations", "throughput_ok",
+                )
+            }), file=sys.stderr)
+            return 1
+        print("comparison ok: digests pinned, error bounds and "
+              "throughput within policy")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

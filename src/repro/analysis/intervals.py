@@ -4,25 +4,67 @@ The paper buckets the time between successive writes to the same LR block
 into <=1 us / <=5 us / <=10 us / <=1 ms / >2.5 ms bins and observes that
 most LR rewrites land under 10 us — the justification for microsecond-scale
 LR retention.
+
+Bucket bounds are **exact decimal literals** (``1e-6``, ``5e-6``, ``1e-5``,
+``1e-3``, ``2.5e-3``), not products like ``10 * US``: ``10 * 1e-6`` rounds
+to ``9.999999999999999e-06``, one ulp *below* ``1e-5``, so an interval of
+exactly 10 us would misclassify into the ``<=1ms`` bucket and Fig. 6's
+under-10 us share would undercount.  Classification is inclusive
+(``interval <= bound``), so an interval exactly at a bin edge lands in the
+paper's bin.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
 from repro.errors import AnalysisError
-from repro.units import MS, US
 
-#: (label, upper bound in seconds); the last bucket is open-ended.
+#: (label, upper bound in seconds); the last bucket is open-ended.  The
+#: bounds are exact literals — see the module docstring for why computed
+#: bounds (``10 * US``) are one ulp off the bin edge.
 REWRITE_BUCKETS: Tuple[Tuple[str, float], ...] = (
-    ("<=1us", 1 * US),
-    ("<=5us", 5 * US),
-    ("<=10us", 10 * US),
-    ("<=1ms", 1 * MS),
-    ("<=2.5ms", 2.5 * MS),
+    ("<=1us", 1e-6),
+    ("<=5us", 5e-6),
+    ("<=10us", 1e-5),
+    ("<=1ms", 1e-3),
+    ("<=2.5ms", 2.5e-3),
     (">2.5ms", float("inf")),
 )
+
+#: Relative tolerance within which a ``fraction_under`` threshold snaps to
+#: a bucket bound.  Wide enough to absorb float-arithmetic artifacts like
+#: ``10 * US`` (one ulp below ``1e-5``), far too narrow to capture a
+#: genuinely different threshold (the closest bounds differ by 2x).
+THRESHOLD_SNAP_REL_TOL = 1e-9
+
+
+def snap_threshold(seconds: float) -> float:
+    """The bucket bound ``seconds`` refers to, or raise ``AnalysisError``.
+
+    ``seconds`` must be a bucket bound, either exactly or within
+    :data:`THRESHOLD_SNAP_REL_TOL` relative tolerance (which absorbs
+    one-ulp float artifacts such as ``10 * US``).  ``float("inf")`` names
+    the open-ended bucket.  Anything else — e.g. 7 us, which falls
+    strictly inside the ``<=10us`` bucket — raises
+    :class:`~repro.errors.AnalysisError`, because the distribution has no
+    sub-bucket resolution to answer it with.
+    """
+    for _, bound in REWRITE_BUCKETS:
+        if seconds == bound:
+            return bound
+        if math.isfinite(bound) and math.isclose(
+            seconds, bound, rel_tol=THRESHOLD_SNAP_REL_TOL
+        ):
+            return bound
+    edges = [bound for _, bound in REWRITE_BUCKETS if math.isfinite(bound)]
+    raise AnalysisError(
+        f"threshold {seconds!r} s is not a rewrite-bucket edge; the "
+        f"distribution only has bucket resolution — use one of {edges} "
+        f"(or inf)"
+    )
 
 
 @dataclass(frozen=True)
@@ -39,12 +81,21 @@ class RewriteDistribution:
         return {label: self.counts[label] / self.total for label, _ in REWRITE_BUCKETS}
 
     def fraction_under(self, seconds: float) -> float:
-        """Share of intervals at or below ``seconds`` (bucket-resolution)."""
+        """Share of intervals at or below ``seconds``.
+
+        Contract: ``seconds`` must name a bucket edge (see
+        :func:`snap_threshold`) — exactly, or within
+        :data:`THRESHOLD_SNAP_REL_TOL` to absorb float artifacts like
+        ``10 * US``.  A threshold strictly inside a bucket raises
+        :class:`~repro.errors.AnalysisError` instead of silently dropping
+        that bucket's intervals (the pre-fix behaviour undercounted).
+        """
+        threshold = snap_threshold(seconds)
         if self.total == 0:
             return 0.0
         covered = 0
         for label, bound in REWRITE_BUCKETS:
-            if bound <= seconds:
+            if bound <= threshold:
                 covered += self.counts[label]
         return covered / self.total
 

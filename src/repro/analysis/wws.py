@@ -4,12 +4,19 @@ The paper's two key observations (section 1): within a time window the WWS
 is *small*, and rewrite intervals of WWS blocks are short.  This module
 measures the first claim directly from a trace: the number of distinct
 lines written per window, versus the total distinct lines touched.
+
+Each :class:`WWSWindow` records its own ``size`` (number of trace records
+it covers) because the final window of a trace is usually partial: a
+10-access tail must not weigh as much as a full 2000-access window when
+averaging across windows.  :func:`weighted_wws_fraction` is the canonical
+size-weighted aggregation; the surrogate pre-characterization
+(:mod:`repro.surrogate.features`) builds on it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence
 
 from repro.errors import AnalysisError
 from repro.workloads.trace import FLAG_WRITE, Trace
@@ -20,6 +27,7 @@ class WWSWindow:
     """WWS statistics of one window of the trace."""
 
     start_index: int
+    size: int
     distinct_written_lines: int
     distinct_touched_lines: int
     writes: int
@@ -35,7 +43,12 @@ class WWSWindow:
 def write_working_set(
     trace: Trace, window: int, line_size: int = 256
 ) -> List[WWSWindow]:
-    """Per-window WWS sizes for a trace at ``line_size`` granularity."""
+    """Per-window WWS sizes for a trace at ``line_size`` granularity.
+
+    The final window is partial whenever ``len(trace)`` is not a multiple
+    of ``window``; its :attr:`WWSWindow.size` records how many accesses it
+    actually covers so aggregations can weight it accordingly.
+    """
     if window <= 0:
         raise AnalysisError("window must be positive")
     if line_size <= 0:
@@ -52,9 +65,24 @@ def write_working_set(
         results.append(
             WWSWindow(
                 start_index=start,
+                size=stop - start,
                 distinct_written_lines=len(written),
                 distinct_touched_lines=len(touched),
                 writes=int(writes_mask.sum()),
             )
         )
     return results
+
+
+def weighted_wws_fraction(windows: Sequence[WWSWindow]) -> float:
+    """Size-weighted mean of per-window WWS fractions (0.0 for no windows).
+
+    Weights each window by its :attr:`WWSWindow.size`, so a partial tail
+    window contributes proportionally to the accesses it covers instead of
+    counting like a full window (the naive unweighted mean skews toward
+    whatever the trace happened to end on).
+    """
+    total = sum(w.size for w in windows)
+    if total == 0:
+        return 0.0
+    return sum(w.wws_fraction * w.size for w in windows) / total

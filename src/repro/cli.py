@@ -24,9 +24,14 @@ Subcommands
     shared result store, request coalescing, and a sharded worker pool.
     See ``docs/service.md``.
 ``submit``
-    Submit one request (simulate, experiment, ping, stats, shutdown) to
-    a running service.  An unreachable server exits 2 with a one-line
-    diagnostic, matching the unknown-experiment convention.
+    Submit one request (simulate, experiment, predict, ping, stats,
+    shutdown) to a running service.  An unreachable server exits 2 with a
+    one-line diagnostic, matching the unknown-experiment convention.
+``predict``
+    Ask the local analytical surrogate (no service needed) for an instant
+    estimate of one (benchmark, config) point; ``--compare`` also runs
+    the trace-driven engine and prints the relative errors.  See
+    ``docs/surrogate.md``.
 """
 
 from __future__ import annotations
@@ -412,6 +417,20 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.predict and args.benchmark is None:
+        print(
+            "repro-sttgpu submit: --predict needs BENCHMARK CONFIG "
+            "(e.g. repro-sttgpu submit --predict bfs C1)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.predict and (args.engine is not None or args.shards is not None):
+        print(
+            "repro-sttgpu submit: --predict is engine-independent; "
+            "drop --engine/--shards",
+            file=sys.stderr,
+        )
+        return 2
     try:
         with ServiceClient(
             host=args.host, port=args.port, timeout_s=args.timeout
@@ -436,6 +455,22 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 print(f"experiment     : {args.experiment}")
                 print(f"digest         : {response['digest']}")
                 print(f"jobs           : {response['jobs']}")
+            elif args.predict:
+                response = client.predict(
+                    args.benchmark,
+                    args.config,
+                    trace_length=args.trace_length,
+                    seed=args.seed,
+                )
+                payload = response["payload"]
+                print(f"benchmark      : {payload['benchmark']}")
+                print(f"config         : {payload['config']}")
+                print(f"cache          : {response['cache']}")
+                print(f"digest         : {response['digest']}")
+                print(f"via            : {payload['via']}")
+                print(f"IPC            : {payload['ipc']:.2f}")
+                print(f"L2 hit rate    : {payload['l2_hit_rate']:.3f}")
+                print(f"L2 dynamic J   : {payload['l2_dynamic_energy_j']:.3e}")
             else:
                 response = client.simulate(
                     args.benchmark,
@@ -464,6 +499,54 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     except ServiceError as exc:
         print(f"repro-sttgpu submit: {exc}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.errors import SurrogateError
+    from repro.surrogate import PREDICTED_METRICS, SurrogateOracle
+    from repro.telemetry import ResultCache
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    oracle = SurrogateOracle(cache=cache)
+    try:
+        prediction = oracle.predict(
+            args.config, args.benchmark,
+            trace_length=args.trace_length, seed=args.seed,
+        )
+    except SurrogateError as exc:
+        print(f"repro-sttgpu predict: {exc}", file=sys.stderr)
+        return 2
+    print(f"benchmark      : {prediction['benchmark']}")
+    print(f"config         : {prediction['config']}")
+    print(f"trace length   : {prediction['trace_length']} (seed {prediction['seed']})")
+    print(f"via            : {prediction['via']}")
+    print(f"IPC            : {prediction['ipc']:.2f}")
+    print(f"L1 hit rate    : {prediction['l1_hit_rate']:.3f}")
+    print(f"L2 hit rate    : {prediction['l2_hit_rate']:.3f}")
+    print(f"L2 dynamic J   : {prediction['l2_dynamic_energy_j']:.3e}")
+    print(f"L2 leakage W   : {prediction['l2_leakage_power_w']:.4f}")
+    if args.compare:
+        from repro import simulate
+
+        workload = build_workload(
+            args.benchmark, num_accesses=args.trace_length, seed=args.seed
+        )
+        truth = simulate(all_configs()[args.config], workload)
+        print("vs trace-driven engine:")
+        for metric in PREDICTED_METRICS:
+            actual = getattr(truth, metric)
+            predicted = prediction[metric]
+            if actual:
+                err = abs(predicted - actual) / abs(actual)
+                print(f"  {metric:<22}: {actual:.4g} (rel err {err:.2%})")
+            else:
+                print(f"  {metric:<22}: {actual:.4g} (predicted {predicted:.4g})")
+    if args.json:
+        from repro.io import write_json_atomic
+
+        write_json_atomic(prediction, args.json)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -647,6 +730,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"server port (default {DEFAULT_PORT})")
     p_sub.add_argument("--experiment", metavar="NAME", default=None,
                        help=f"run a whole experiment: one of {EXPERIMENTS}")
+    p_sub.add_argument("--predict", action="store_true",
+                       help="ask the server's analytical surrogate instead "
+                            "of running the simulation (docs/surrogate.md)")
     p_sub.add_argument("--ping", action="store_true",
                        help="round-trip a ping and exit")
     p_sub.add_argument("--stats", action="store_true",
@@ -666,6 +752,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub.add_argument("--json", metavar="FILE", default=None,
                        help="also write the full response to FILE as JSON")
     p_sub.set_defaults(func=_cmd_submit)
+
+    p_pred = sub.add_parser(
+        "predict", help="instant surrogate estimate (see docs/surrogate.md)"
+    )
+    p_pred.add_argument("benchmark", choices=suite_names())
+    p_pred.add_argument("config", help="baseline | stt-baseline | C1 | C2 | C3")
+    p_pred.add_argument("--trace-length", type=int, default=DEFAULT_TRACE_LENGTH)
+    p_pred.add_argument("--seed", type=int, default=0)
+    p_pred.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="content-keyed cache for anchor simulations and "
+                             "workload features (shared with --cache-dir "
+                             "batteries and the service store)")
+    p_pred.add_argument("--compare", action="store_true",
+                        help="also run the trace-driven engine and print "
+                             "per-metric relative errors")
+    p_pred.add_argument("--json", metavar="FILE", default=None,
+                        help="also write the prediction to FILE as JSON")
+    p_pred.set_defaults(func=_cmd_predict)
 
     p_cfg = sub.add_parser("configs", help="print Table 2")
     p_cfg.set_defaults(func=_cmd_configs)

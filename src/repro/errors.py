@@ -52,6 +52,10 @@ class OracleError(ReproError):
     """The differential oracle was misused or a report is malformed."""
 
 
+class SurrogateError(ReproError):
+    """The analytical surrogate was misused or its document is malformed."""
+
+
 class ServiceError(ReproError):
     """A simulation-service request, response, or document is invalid."""
 

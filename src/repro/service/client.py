@@ -111,6 +111,29 @@ class ServiceClient:
             request["shards"] = shards
         return self._checked(request)
 
+    def predict(
+        self,
+        benchmark: str,
+        config: str,
+        trace_length: Optional[int] = None,
+        seed: int = 0,
+    ) -> Dict[str, Any]:
+        """Ask the server's analytical surrogate for an instant estimate.
+
+        The response's ``payload`` carries the predicted IPC, hit rates
+        and L2 energy (see :mod:`repro.surrogate`); the worker pool is
+        never involved, so a warm prediction answers in microseconds.
+        """
+        request: Dict[str, Any] = {
+            "kind": "predict",
+            "benchmark": benchmark,
+            "config": config,
+            "seed": seed,
+        }
+        if trace_length is not None:
+            request["trace_length"] = trace_length
+        return self._checked(request)
+
     def experiment(
         self,
         experiment: str,

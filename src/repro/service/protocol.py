@@ -15,6 +15,8 @@ Request kinds (``"kind"`` selects the handler)::
      "trace_length": 30000, "seed": 0, "engine": "soa", "shards": 4}
     {"kind": "experiment", "experiment": "fig3",
      "trace_length": 15000, "seed": 0, "benchmarks": ["nn", "bfs"]}
+    {"kind": "predict", "benchmark": "bfs", "config": "C1",
+     "trace_length": 30000, "seed": 0}
 
 Responses carry ``"ok"`` (boolean); successes add ``"kind"`` plus
 handler-specific fields (``"payload"``, ``"digest"``, ``"cache"``),
@@ -48,7 +50,7 @@ PROTOCOL_VERSION = 1
 DEFAULT_PORT = 8642
 
 #: Every request kind the server dispatches.
-REQUEST_KINDS = ("ping", "stats", "simulate", "experiment", "shutdown")
+REQUEST_KINDS = ("ping", "stats", "simulate", "experiment", "predict", "shutdown")
 
 #: Upper bound on a single request's trace length (keeps one request from
 #: monopolizing a worker for hours).
@@ -185,6 +187,37 @@ def _validate_experiment(request: Mapping[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _validate_predict(request: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.config import all_configs
+    from repro.experiments.common import DEFAULT_TRACE_LENGTH
+    from repro.workloads.suite import suite_names
+
+    benchmark = request.get("benchmark")
+    if benchmark not in suite_names():
+        raise ServiceError(
+            f"unknown benchmark {benchmark!r}; choose from {suite_names()}"
+        )
+    config = request.get("config")
+    if config not in all_configs():
+        raise ServiceError(
+            f"unknown config {config!r}; choose from {sorted(all_configs())}"
+        )
+    if request.get("engine") is not None:
+        raise ServiceError(
+            "predict is engine-independent (the surrogate answers); "
+            "drop the engine field or use kind=simulate"
+        )
+    return {
+        "kind": "predict",
+        "benchmark": benchmark,
+        "config": config,
+        "trace_length": _require_int(
+            request, "trace_length", DEFAULT_TRACE_LENGTH, 1, MAX_TRACE_LENGTH
+        ),
+        "seed": _require_int(request, "seed", 0, 0, 2**31 - 1),
+    }
+
+
 def validate_request(request: Mapping[str, Any]) -> Dict[str, Any]:
     """Normalize one request against the config/suite/engine registries.
 
@@ -207,21 +240,23 @@ def validate_request(request: Mapping[str, Any]) -> Dict[str, Any]:
         return _validate_simulate(request)
     if kind == "experiment":
         return _validate_experiment(request)
+    if kind == "predict":
+        return _validate_predict(request)
     return {"kind": kind}
 
 
 def request_digest(normalized: Mapping[str, Any]) -> str:
     """The content digest identifying one unit of service work.
 
-    Only defined for normalized ``simulate``/``experiment`` requests (run
-    them through :func:`validate_request` first).  The digest is the
-    SHA-256 of the canonical JSON of the normalized request plus the
-    config fingerprint and cache schema version — the same construction
-    as :func:`repro.experiments.parallel.job_key`, so a parameter edit
-    invalidates both cache populations at once.
+    Only defined for normalized ``simulate``/``experiment``/``predict``
+    requests (run them through :func:`validate_request` first).  The
+    digest is the SHA-256 of the canonical JSON of the normalized request
+    plus the config fingerprint and cache schema version — the same
+    construction as :func:`repro.experiments.parallel.job_key`, so a
+    parameter edit invalidates both cache populations at once.
     """
     kind = normalized.get("kind")
-    if kind not in ("simulate", "experiment"):
+    if kind not in ("simulate", "experiment", "predict"):
         raise ServiceError(f"request kind {kind!r} has no work digest")
     descriptor = dict(normalized)
     descriptor["cache_schema"] = CACHE_SCHEMA_VERSION

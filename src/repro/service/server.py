@@ -41,11 +41,12 @@ import threading
 import time
 from typing import Any, Callable, Dict, Optional
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, SurrogateError
 from repro.service import protocol
 from repro.service.dedup import InflightTable
 from repro.service.pool import ShardedWorkerPool, compute_experiment_job, compute_simulate
 from repro.service.store import SharedResultStore
+from repro.surrogate.model import SurrogateOracle
 from repro.tracing import NULL_TRACER, TraceCollector
 
 #: How long a draining shutdown waits for in-flight work, in seconds.
@@ -64,13 +65,17 @@ class SimulationServer:
         tracer: Optional[TraceCollector] = None,
         log: Optional[Callable[[str], None]] = None,
         drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
+        oracle: Optional[SurrogateOracle] = None,
     ) -> None:
         """Configure a server (no sockets are opened until :meth:`serve`).
 
         ``port=0`` binds an ephemeral port (read it from :attr:`port`
         after startup).  ``store=None`` disables result caching but not
         coalescing.  ``log`` receives one human-readable line per
-        lifecycle event (default: stderr).
+        lifecycle event (default: stderr).  ``oracle=None`` builds a lazy
+        :class:`~repro.surrogate.model.SurrogateOracle` sharing the store
+        as its anchor/feature cache — ``predict`` requests are answered by
+        the surrogate, never the worker pool.
         """
         self.host = host
         self.port = port
@@ -83,6 +88,9 @@ class SimulationServer:
             self.store.tracer = self.tracer
         self.drain_timeout_s = drain_timeout_s
         self._log_fn = log
+        self.oracle = oracle if oracle is not None else SurrogateOracle(
+            cache=self.store, tracer=self.tracer
+        )
         self.inflight = InflightTable(self.tracer)
         #: set once the listener is bound; ServerThread waits on it
         self.ready = threading.Event()
@@ -143,6 +151,42 @@ class SimulationServer:
         )
         return protocol.ok_response(
             "simulate", digest=digest, cache=provenance, payload=payload
+        )
+
+    async def _handle_predict(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        digest = protocol.request_digest(request)
+        if self.store is not None:
+            cached = self.store.get(digest)
+            if cached is not None:
+                self.tracer.count("service.predict.hits")
+                return protocol.ok_response(
+                    "predict", digest=digest, cache="hit", payload=cached
+                )
+
+        async def leader() -> Dict[str, Any]:
+            # the surrogate answers off-loop but never touches the worker
+            # pool: a cold (config, benchmark) pair costs two anchor
+            # simulations on a helper thread, a warm one is microseconds
+            payload = await asyncio.to_thread(
+                self.oracle.predict,
+                request["config"],
+                request["benchmark"],
+                request["trace_length"],
+                request["seed"],
+            )
+            if self.store is not None:
+                self.store.put(digest, request, payload)
+            self.tracer.count("service.jobs.predict")
+            return payload
+
+        payload, coalesced = await self.inflight.run(digest, leader)
+        provenance = "coalesced" if coalesced else "miss"
+        self.tracer.count(
+            "service.predict.coalesced" if coalesced
+            else "service.predict.misses"
+        )
+        return protocol.ok_response(
+            "predict", digest=digest, cache=provenance, payload=payload
         )
 
     async def _run_experiment_spec(self, spec) -> Dict[str, Any]:
@@ -206,6 +250,13 @@ class SimulationServer:
             "jobs": {
                 "simulate": int(counters.get("service.jobs.simulate", 0)),
                 "experiment": int(counters.get("service.jobs.experiment", 0)),
+                "predict": int(counters.get("service.jobs.predict", 0)),
+            },
+            "predict": {
+                "hits": int(counters.get("service.predict.hits", 0)),
+                "misses": int(counters.get("service.predict.misses", 0)),
+                "coalesced": int(counters.get("service.predict.coalesced", 0)),
+                "fitted_pairs": self.oracle.fitted_pairs,
             },
             "simulations_run": int(counters.get("service.jobs.simulate", 0)),
             "dedup": {
@@ -249,9 +300,11 @@ class SimulationServer:
                 return protocol.ok_response("shutdown", draining=True)
             if request["kind"] == "simulate":
                 return await self._handle_simulate(request)
+            if request["kind"] == "predict":
+                return await self._handle_predict(request)
             assert request["kind"] == "experiment"
             return await self._handle_experiment(request)
-        except ServiceError as error:
+        except (ServiceError, SurrogateError) as error:
             self.tracer.count("service.errors")
             return protocol.error_response(str(error))
         except Exception as error:  # defensive: a bug must not kill the server

@@ -1,0 +1,318 @@
+"""Surrogate validation: error bounds vs the trace-driven engine.
+
+Samples a deterministic (config, benchmark, trace length, seed) grid —
+240 points by default, well over the 200-point floor — runs the
+trace-driven replay engine (registry default: SoA) as ground truth at
+every point, scores the surrogate's predictions, and assembles a
+schema-validated document (``BENCH_surrogate.json``) recording:
+
+* per-metric error bounds (median / p90 / max absolute relative error)
+  for IPC, L2 hit rate and L2 dynamic energy;
+* a prediction-throughput load check (the acceptance bar is
+  >= 10^4 predictions/sec; a fitted model answers in microseconds);
+* the fitted model's content digest and the grid results' content digest.
+
+Gate policy (``scripts/bench_surrogate.py``, CI ``surrogate-smoke``):
+**digest changes always fail** — a changed model or grid result means the
+predictor or the simulator moved and the baseline must be consciously
+re-pinned — and the error bounds must satisfy :data:`ERROR_POLICY`
+(<= 5% median absolute error on hit rate and energy) with throughput at
+or above :data:`MIN_PREDICTIONS_PER_S`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.benchmarks import host_metadata
+from repro.errors import SurrogateError
+from repro.io import write_json_atomic
+from repro.surrogate.features import FEATURE_TRACE_LENGTH
+from repro.surrogate.model import (
+    DEFAULT_ANCHOR_LENGTHS,
+    PREDICTED_METRICS,
+    SurrogateModel,
+    _simulate_anchor,
+    fit_surrogate,
+)
+from repro.telemetry import ResultCache, config_fingerprint, content_key
+from repro.tracing import NULL_TRACER
+
+#: Schema version stamped into every surrogate bench document.
+SURROGATE_BENCH_SCHEMA_VERSION = 1
+
+#: Document kind marker (guards against gating the wrong JSON file).
+SURROGATE_BENCH_KIND = "surrogate-bench"
+
+#: Trace lengths the validation grid samples (straddling the anchors,
+#: so both interpolation and extrapolation are scored).
+VALIDATION_LENGTHS = (3000, 5000, 8000, 16000)
+
+#: Workload seeds the grid samples (anchors are fitted at seed 0 only;
+#: seeds 1-2 measure cross-seed generalization).
+VALIDATION_SEEDS = (0, 1, 2)
+
+#: (length, seed) samples drawn per (config, benchmark) pair.
+POINTS_PER_PAIR = 3
+
+#: Seed of the deterministic grid sampler.
+GRID_SAMPLE_SEED = 0xC0FFEE
+
+#: Max median absolute relative error per metric (the acceptance bar).
+ERROR_POLICY = {"l2_hit_rate": 0.05, "l2_dynamic_energy_j": 0.05}
+
+#: Minimum predictions/sec the load check must sustain.
+MIN_PREDICTIONS_PER_S = 10_000.0
+
+#: Predictions issued by the throughput measurement.
+THROUGHPUT_PREDICTIONS = 20_000
+
+
+def build_grid(
+    configs: Sequence[str],
+    benchmarks: Sequence[str],
+    lengths: Sequence[int] = VALIDATION_LENGTHS,
+    seeds: Sequence[int] = VALIDATION_SEEDS,
+    points_per_pair: int = POINTS_PER_PAIR,
+    sample_seed: int = GRID_SAMPLE_SEED,
+) -> List[Dict[str, Any]]:
+    """The deterministic validation grid (a list of point descriptors).
+
+    For every (config, benchmark) pair, draws ``points_per_pair``
+    distinct (length, seed) combinations with a seeded sampler — the same
+    inputs always produce the same grid, which is what makes the results
+    digest re-checkable in CI.
+    """
+    combos = [(length, seed) for length in lengths for seed in seeds]
+    if points_per_pair > len(combos):
+        raise SurrogateError(
+            f"points_per_pair {points_per_pair} exceeds the "
+            f"{len(combos)} available (length, seed) combinations"
+        )
+    rng = random.Random(sample_seed)
+    grid: List[Dict[str, Any]] = []
+    for config in configs:
+        for benchmark in benchmarks:
+            for length, seed in sorted(rng.sample(combos, points_per_pair)):
+                grid.append({
+                    "config": config,
+                    "benchmark": benchmark,
+                    "trace_length": length,
+                    "seed": seed,
+                })
+    return grid
+
+
+def run_validation(
+    model: SurrogateModel,
+    grid: Iterable[Mapping[str, Any]],
+    cache: Optional[ResultCache] = None,
+    tracer=NULL_TRACER,
+) -> List[Dict[str, Any]]:
+    """Ground-truth every grid point and pair it with the prediction."""
+    points: List[Dict[str, Any]] = []
+    for point in grid:
+        truth = _simulate_anchor(
+            point["config"], point["benchmark"], point["trace_length"],
+            point["seed"], cache, tracer,
+        )
+        predicted = model.predict(
+            point["config"], point["benchmark"], point["trace_length"],
+            seed=point["seed"],
+        )
+        points.append({
+            **dict(point),
+            "truth": {m: getattr(truth, m) for m in PREDICTED_METRICS},
+            "predicted": {m: predicted[m] for m in PREDICTED_METRICS},
+        })
+        tracer.count("surrogate.validation.points")
+    return points
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    if not ordered:
+        raise SurrogateError("no error samples to summarize")
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def summarize_errors(
+    points: Sequence[Mapping[str, Any]],
+) -> Dict[str, Dict[str, float]]:
+    """Per-metric |relative error| bounds (median / p90 / max) over points."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for metric in PREDICTED_METRICS:
+        errors = []
+        for point in points:
+            truth = point["truth"][metric]
+            predicted = point["predicted"][metric]
+            if truth == 0:
+                errors.append(abs(predicted))
+            else:
+                errors.append(abs(predicted - truth) / abs(truth))
+        errors.sort()
+        summary[metric] = {
+            "median_abs_rel_err": _percentile(errors, 0.5),
+            "p90_abs_rel_err": _percentile(errors, 0.9),
+            "max_abs_rel_err": errors[-1],
+        }
+    return summary
+
+
+def measure_throughput(
+    model: SurrogateModel,
+    grid: Sequence[Mapping[str, Any]],
+    predictions: int = THROUGHPUT_PREDICTIONS,
+) -> Dict[str, float]:
+    """Time ``predictions`` cycled over the grid (the >=10^4/s load check)."""
+    if not grid:
+        raise SurrogateError("cannot measure throughput over an empty grid")
+    started = time.perf_counter()
+    for i in range(predictions):
+        point = grid[i % len(grid)]
+        model.predict(
+            point["config"], point["benchmark"], point["trace_length"],
+            seed=point["seed"],
+        )
+    wall_s = time.perf_counter() - started
+    return {
+        "predictions": predictions,
+        "wall_s": wall_s,
+        "predictions_per_s": predictions / wall_s if wall_s > 0 else float("inf"),
+    }
+
+
+def run_surrogate_bench(
+    configs: Optional[Sequence[str]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    anchor_lengths: Sequence[int] = DEFAULT_ANCHOR_LENGTHS,
+    cache_dir: Optional[str] = None,
+    tracer=NULL_TRACER,
+) -> Dict[str, Any]:
+    """Characterize, fit, validate and load-check; returns the document."""
+    from repro import all_configs
+    from repro.engine import DEFAULT_ENGINE
+    from repro.workloads.suite import suite_names
+
+    config_names = list(configs) if configs is not None else sorted(all_configs())
+    bench_names = list(benchmarks) if benchmarks is not None else suite_names()
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+
+    model = fit_surrogate(
+        configs=config_names,
+        benchmarks=bench_names,
+        anchor_lengths=anchor_lengths,
+        cache=cache,
+        tracer=tracer,
+    )
+    grid = build_grid(config_names, bench_names)
+    points = run_validation(model, grid, cache=cache, tracer=tracer)
+    throughput = measure_throughput(model, grid)
+    return {
+        "schema_version": SURROGATE_BENCH_SCHEMA_VERSION,
+        "kind": SURROGATE_BENCH_KIND,
+        "host": host_metadata(),
+        "params": {
+            "engine": DEFAULT_ENGINE,
+            "anchor_lengths": sorted(anchor_lengths),
+            "anchor_seed": model.anchor_seed,
+            "feature_trace_length": FEATURE_TRACE_LENGTH,
+            "configs": config_names,
+            "benchmarks": bench_names,
+            "validation_lengths": list(VALIDATION_LENGTHS),
+            "validation_seeds": list(VALIDATION_SEEDS),
+            "points_per_pair": POINTS_PER_PAIR,
+            "sample_seed": GRID_SAMPLE_SEED,
+            "grid_points": len(points),
+            "config_fingerprint": config_fingerprint(),
+        },
+        "model_digest": model.digest(),
+        "points": points,
+        "points_digest": content_key(points),
+        "errors": summarize_errors(points),
+        "throughput": throughput,
+        "policy": {
+            "max_median_abs_rel_err": dict(ERROR_POLICY),
+            "min_predictions_per_s": MIN_PREDICTIONS_PER_S,
+        },
+    }
+
+
+def validate_surrogate_bench(document: Mapping[str, Any]) -> None:
+    """Structural validation; raises ``SurrogateError`` on any gap."""
+    if document.get("schema_version") != SURROGATE_BENCH_SCHEMA_VERSION:
+        raise SurrogateError(
+            f"unsupported surrogate bench schema "
+            f"{document.get('schema_version')!r}"
+        )
+    if document.get("kind") != SURROGATE_BENCH_KIND:
+        raise SurrogateError(
+            f"not a surrogate bench document (kind="
+            f"{document.get('kind')!r})"
+        )
+    for key in ("host", "params", "model_digest", "points", "points_digest",
+                "errors", "throughput", "policy"):
+        if key not in document:
+            raise SurrogateError(f"surrogate bench document missing {key!r}")
+    points = document["points"]
+    if not isinstance(points, list) or not points:
+        raise SurrogateError("surrogate bench document has no grid points")
+    if document["params"].get("grid_points") != len(points):
+        raise SurrogateError(
+            f"params.grid_points={document['params'].get('grid_points')!r} "
+            f"disagrees with {len(points)} recorded points"
+        )
+    if document["points_digest"] != content_key(points):
+        raise SurrogateError(
+            "points_digest does not match the recorded points"
+        )
+    for metric in PREDICTED_METRICS:
+        if metric not in document["errors"]:
+            raise SurrogateError(f"errors missing metric {metric!r}")
+    for point in points:
+        for key in ("config", "benchmark", "trace_length", "seed",
+                    "truth", "predicted"):
+            if key not in point:
+                raise SurrogateError(f"grid point missing {key!r}: {point}")
+
+
+def compare_surrogate_bench(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+) -> Dict[str, Any]:
+    """Gate ``current`` against the committed ``baseline``.
+
+    Failure conditions (``ok: False``): the model digest or the grid
+    results digest changed (**always** a failure — re-pin consciously,
+    never silently); a median absolute relative error exceeds
+    :data:`ERROR_POLICY`; or the current run's prediction throughput is
+    below :data:`MIN_PREDICTIONS_PER_S`.
+    """
+    validate_surrogate_bench(current)
+    validate_surrogate_bench(baseline)
+    model_match = current["model_digest"] == baseline["model_digest"]
+    points_match = current["points_digest"] == baseline["points_digest"]
+    error_violations: Dict[str, Dict[str, float]] = {}
+    for metric, bound in ERROR_POLICY.items():
+        median = current["errors"][metric]["median_abs_rel_err"]
+        if median > bound:
+            error_violations[metric] = {"median": median, "bound": bound}
+    throughput = current["throughput"]["predictions_per_s"]
+    throughput_ok = throughput >= MIN_PREDICTIONS_PER_S
+    return {
+        "ok": model_match and points_match and not error_violations
+        and throughput_ok,
+        "model_digest_match": model_match,
+        "points_digest_match": points_match,
+        "error_violations": error_violations,
+        "throughput_ok": throughput_ok,
+        "predictions_per_s": throughput,
+    }
+
+
+def write_surrogate_bench(document: Mapping[str, Any], path) -> None:
+    """Validate and atomically write the document to ``path``."""
+    validate_surrogate_bench(document)
+    write_json_atomic(dict(document), path)

@@ -1,5 +1,7 @@
 """Tests for the characterization analyses (COV, WWS, rewrite intervals)."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, strategies as st
@@ -8,9 +10,10 @@ from repro.analysis.cov import write_variation
 from repro.analysis.intervals import (
     REWRITE_BUCKETS,
     rewrite_interval_distribution,
+    snap_threshold,
 )
 from repro.analysis.tables import format_table, to_csv
-from repro.analysis.wws import write_working_set
+from repro.analysis.wws import weighted_wws_fraction, write_working_set
 from repro.cache.array import SetAssociativeCache
 from repro.errors import AnalysisError
 from repro.units import KB, MS, US
@@ -107,6 +110,40 @@ class TestWWS:
         with pytest.raises(AnalysisError):
             write_working_set(trace, window=0)
 
+    def test_window_sizes_recorded(self):
+        trace = self.make_trace([True] * 10, list(range(10)))
+        windows = write_working_set(trace, window=4)
+        assert [w.size for w in windows] == [4, 4, 2]
+
+    def test_partial_tail_weighting(self):
+        # first window: 4 accesses, all written (fraction 1.0);
+        # tail window: 1 access, read only (fraction 0.0)
+        trace = self.make_trace(
+            [True, True, True, True, False], [0, 1, 2, 3, 4]
+        )
+        windows = write_working_set(trace, window=4)
+        assert [w.size for w in windows] == [4, 1]
+        naive = sum(w.wws_fraction for w in windows) / len(windows)
+        weighted = weighted_wws_fraction(windows)
+        assert naive == pytest.approx(0.5)
+        assert weighted == pytest.approx(4 / 5)  # tail weighs 1/5, not 1/2
+
+    def test_weighted_fraction_empty(self):
+        assert weighted_wws_fraction([]) == 0.0
+
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_window_sizes_partition_trace(self, writes, window):
+        """Window sizes always sum to the trace length, tail included."""
+        trace = self.make_trace(writes, list(range(len(writes))))
+        windows = write_working_set(trace, window=window)
+        assert sum(w.size for w in windows) == len(writes)
+        assert all(0 < w.size <= window for w in windows)
+        if len(writes) % window:
+            assert windows[-1].size == len(writes) % window
+
 
 class TestRewriteIntervals:
     def test_bucketing(self):
@@ -131,7 +168,83 @@ class TestRewriteIntervals:
 
     def test_fraction_under(self):
         dist = rewrite_interval_distribution([0.5 * US, 2 * US, 5 * MS])
+        # 10 * US is one ulp below the exact 1e-5 edge; the documented
+        # contract snaps it onto the edge instead of dropping buckets
         assert dist.fraction_under(10 * US) == pytest.approx(2 / 3)
+        assert dist.fraction_under(1e-5) == pytest.approx(2 / 3)
+
+    def test_fraction_under_rejects_off_edge_threshold(self):
+        dist = rewrite_interval_distribution([0.5 * US, 2 * US])
+        for off_edge in (7e-6, 2e-3, 0.5e-6, 0.0):
+            with pytest.raises(AnalysisError):
+                dist.fraction_under(off_edge)
+
+    def test_fraction_under_inf_covers_everything(self):
+        dist = rewrite_interval_distribution([0.5 * US, 5 * MS])
+        assert dist.fraction_under(float("inf")) == pytest.approx(1.0)
+
+    def test_fraction_under_empty_still_validates_threshold(self):
+        dist = rewrite_interval_distribution([])
+        assert dist.fraction_under(1e-5) == 0.0
+        with pytest.raises(AnalysisError):
+            dist.fraction_under(7e-6)
+
+    def test_snap_threshold_absorbs_computed_bounds(self):
+        assert snap_threshold(5 * US) == 5e-6
+        assert snap_threshold(10 * US) == 1e-5
+        assert snap_threshold(2.5 * MS) == 2.5e-3
+        assert snap_threshold(float("inf")) == float("inf")
+        with pytest.raises(AnalysisError):
+            snap_threshold(7e-6)
+
+    def test_exact_edges_classify_into_paper_bin(self):
+        """Regression: the bounds are exact literals, so an interval of
+        exactly 1 us / 5 us / 10 us / 1 ms / 2.5 ms lands in its own bin,
+        not the next-larger one (10 * US-style computed bounds were one
+        ulp below the edge)."""
+        edges = [bound for _, bound in REWRITE_BUCKETS[:-1]]
+        assert edges == [1e-6, 5e-6, 1e-5, 1e-3, 2.5e-3]
+        dist = rewrite_interval_distribution(edges)
+        for (label, _), _edge in zip(REWRITE_BUCKETS[:-1], edges):
+            assert dist.counts[label] == 1, label
+        assert dist.counts[">2.5ms"] == 0
+
+    def test_10us_literal_is_under_10us(self):
+        """The acceptance-criteria case: exactly 10e-6 s is <=10us."""
+        assert 10e-6 == 1e-5  # the literal parses onto the edge
+        dist = rewrite_interval_distribution([10e-6])
+        assert dist.counts["<=10us"] == 1
+        assert dist.fraction_under(10e-6) == 1.0
+
+    @pytest.mark.parametrize("edge_index", range(len(REWRITE_BUCKETS) - 1))
+    def test_one_ulp_around_every_edge(self, edge_index):
+        """An interval one ulp below/at an edge is inside the bucket; one
+        ulp above is in the next bucket."""
+        label, edge = REWRITE_BUCKETS[edge_index]
+        below = math.nextafter(edge, 0.0)
+        above = math.nextafter(edge, math.inf)
+        dist = rewrite_interval_distribution([below, edge, above])
+        assert dist.counts[label] == 2, label
+        next_label = REWRITE_BUCKETS[edge_index + 1][0]
+        assert dist.counts[next_label] == 1, next_label
+
+    @given(
+        st.integers(min_value=0, max_value=len(REWRITE_BUCKETS) - 2),
+        st.integers(min_value=-1, max_value=1),
+    )
+    def test_ulp_perturbed_edges_classify_consistently(self, edge_index, ulps):
+        """Property: for any edge and any interval within one ulp of it,
+        classification matches the inclusive ``interval <= bound`` rule
+        applied to exact arithmetic."""
+        label, edge = REWRITE_BUCKETS[edge_index]
+        interval = edge
+        if ulps < 0:
+            interval = math.nextafter(edge, 0.0)
+        elif ulps > 0:
+            interval = math.nextafter(edge, math.inf)
+        dist = rewrite_interval_distribution([interval])
+        expected = label if interval <= edge else REWRITE_BUCKETS[edge_index + 1][0]
+        assert dist.counts[expected] == 1
 
     def test_rejects_negative(self):
         with pytest.raises(AnalysisError):

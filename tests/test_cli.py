@@ -140,3 +140,45 @@ class TestDiffCommand:
     def test_non_twopart_config_exits_two(self, capsys):
         assert main(["diff", "lbm", "--config", "baseline"]) == 2
         assert "two-part" in capsys.readouterr().err
+
+
+class TestPredictCommand:
+    def test_prediction_prints_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "prediction.json"
+        code = main(["predict", "bfs", "C1", "--trace-length", "1200",
+                     "--json", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "IPC" in stdout and "via" in stdout
+        prediction = json.loads(out.read_text())
+        assert prediction["benchmark"] == "bfs"
+        assert prediction["config"] == "C1"
+        assert 0.0 <= prediction["l2_hit_rate"] <= 1.0
+
+    def test_compare_prints_relative_errors(self, capsys):
+        code = main(["predict", "nn", "C2", "--trace-length", "1200",
+                     "--compare"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "vs trace-driven engine" in stdout
+        assert "rel err" in stdout
+
+    def test_cache_dir_is_reused(self, tmp_path, capsys):
+        args = ["predict", "kmeans", "C1", "--trace-length", "900",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0  # second run answers from the cache
+        assert capsys.readouterr().out == first
+        assert any(tmp_path.iterdir())  # anchors/features were persisted
+
+    def test_unknown_config_exits_two(self, capsys):
+        assert main(["predict", "bfs", "C9"]) == 2
+        assert "C9" in capsys.readouterr().err
+
+    def test_submit_predict_usage_errors(self, capsys):
+        assert main(["submit", "--predict"]) == 2
+        assert "BENCHMARK CONFIG" in capsys.readouterr().err
+        assert main(["submit", "--predict", "bfs", "C1",
+                     "--engine", "soa"]) == 2
+        assert "engine-independent" in capsys.readouterr().err

@@ -4,8 +4,9 @@ A lightweight pydocstyle-style gate: every module, public class and public
 function in ``repro.experiments.*``, ``repro.telemetry``, ``repro.io``,
 ``repro.tracing.*``, ``repro.benchmarks``, the replay hot path
 (``repro.cache.*``, ``repro.gpu.*``), the SoA engine
-(``repro.engine.*``), the sharded engine (``repro.shard.*``) and the
-simulation service (``repro.service.*``) must
+(``repro.engine.*``), the sharded engine (``repro.shard.*``), the
+simulation service (``repro.service.*``) and the analytical surrogate
+(``repro.surrogate.*``) must
 carry a docstring, and the experiment modules'
 docstrings must state their job-decomposition contract.
 """
@@ -22,6 +23,7 @@ import repro.experiments
 import repro.gpu
 import repro.service
 import repro.shard
+import repro.surrogate
 
 CHECKED_MODULES = sorted(
     f"repro.experiments.{m.name}"
@@ -41,9 +43,12 @@ CHECKED_MODULES = sorted(
 ) + sorted(
     f"repro.service.{m.name}"
     for m in pkgutil.iter_modules(repro.service.__path__)
+) + sorted(
+    f"repro.surrogate.{m.name}"
+    for m in pkgutil.iter_modules(repro.surrogate.__path__)
 ) + [
     "repro.experiments", "repro.cache", "repro.gpu", "repro.engine",
-    "repro.shard", "repro.service",
+    "repro.shard", "repro.service", "repro.surrogate",
     "repro.telemetry", "repro.io", "repro.benchmarks",
     "repro.tracing", "repro.tracing.collector", "repro.tracing.schema",
 ]

@@ -141,6 +141,25 @@ class TestFig6:
         result = fig6.run(trace_length=SMALL, benchmarks=["bfs", "kmeans"])
         assert result.extras["avg_fraction_under_10us"] > 0.5
 
+    def test_exact_10us_interval_counts_as_under_10us(self):
+        """Boundary regression: an interval of exactly 10e-6 s is <=10us.
+
+        The bucket bounds are exact literals; 10e-6 == 1e-5, so the
+        paper's threshold lands in the ``<=10us`` bin, not the next one.
+        """
+        from repro.analysis.intervals import rewrite_interval_distribution
+
+        distribution = rewrite_interval_distribution([10e-6])
+        assert distribution.counts["<=10us"] == 1
+        assert distribution.fraction_under(10e-6) == 1.0
+
+    def test_under_10us_includes_the_10us_bucket(self):
+        """fig6's under_10us is the cumulative share through <=10us."""
+        payload = fig6.compute("bfs", trace_length=SMALL)
+        fractions = payload["fractions"]
+        expected = fractions["<=1us"] + fractions["<=5us"] + fractions["<=10us"]
+        assert payload["under_10us"] == pytest.approx(expected)
+
 
 class TestFig8:
     @pytest.fixture(scope="class")

@@ -394,10 +394,97 @@ class TestServerEndToEnd:
         with ServiceClient(port=live_server.port) as client:
             stats = client.stats()
         for field in ("protocol", "cache", "jobs", "dedup", "pool", "store",
-                      "latency", "simulations_run"):
+                      "latency", "simulations_run", "predict"):
             assert field in stats, field
         assert stats["pool"] == {"shards": 2, "kind": "thread"}
         assert stats["store"]["entries"] >= 1
+        assert set(stats["predict"]) == {
+            "hits", "misses", "coalesced", "fitted_pairs"
+        }
+
+
+class TestServicePredict:
+    def test_validate_fills_defaults_and_digests(self):
+        normalized = validate_request(
+            {"kind": "predict", "benchmark": "bfs", "config": "C1"}
+        )
+        assert normalized["seed"] == 0
+        assert normalized["trace_length"] > 0
+        assert "engine" not in normalized
+        again = validate_request(
+            {"kind": "predict", "benchmark": "bfs", "config": "C1",
+             "seed": 0, "trace_length": normalized["trace_length"]}
+        )
+        assert request_digest(normalized) == request_digest(again)
+
+    @pytest.mark.parametrize("request_obj", [
+        {"kind": "predict", "benchmark": "nope", "config": "C1"},
+        {"kind": "predict", "benchmark": "bfs", "config": "C9"},
+        {"kind": "predict", "benchmark": "bfs", "config": "C1",
+         "engine": "soa"},
+        {"kind": "predict", "benchmark": "bfs", "config": "C1",
+         "trace_length": 0},
+    ])
+    def test_invalid_predict_requests_are_rejected(self, request_obj):
+        with pytest.raises(ServiceError):
+            validate_request(request_obj)
+
+    def test_predict_miss_then_hit_with_identical_payload(self, live_server):
+        with ServiceClient(port=live_server.port) as client:
+            first = client.predict("bfs", "C1", trace_length=TRACE_LENGTH)
+            second = client.predict("bfs", "C1", trace_length=TRACE_LENGTH)
+        assert first["cache"] in ("miss", "hit")  # miss unless a prior test warmed it
+        assert second["cache"] == "hit"
+        assert canonical_json(first["payload"]) == canonical_json(
+            second["payload"]
+        )
+        payload = second["payload"]
+        for field in ("ipc", "l2_hit_rate", "l1_hit_rate",
+                      "l2_dynamic_energy_j", "l2_leakage_power_w", "via"):
+            assert field in payload, field
+
+    def test_predict_never_touches_the_worker_pool(self, live_server):
+        before = live_server.server.tracer.counters_dict().get(
+            "service.jobs.simulate", 0
+        )
+        with ServiceClient(port=live_server.port) as client:
+            response = client.predict("nn", "C2", trace_length=777)
+        assert response["ok"] is True
+        after = live_server.server.tracer.counters_dict().get(
+            "service.jobs.simulate", 0
+        )
+        assert after == before  # the surrogate answered, not the pool
+
+    def test_concurrent_duplicate_predicts_fit_once(self, live_server):
+        responses = []
+        lock = threading.Lock()
+
+        def fire():
+            with ServiceClient(port=live_server.port) as client:
+                r = client.predict("lbm", "C3", trace_length=TRACE_LENGTH)
+            with lock:
+                responses.append(r)
+
+        threads = [threading.Thread(target=fire) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        counters = live_server.server.tracer.counters_dict()
+        assert counters.get("service.jobs.predict", 0) >= 1
+        assert len({r["digest"] for r in responses}) == 1
+        assert len(
+            {canonical_json(r["payload"]) for r in responses}
+        ) == 1
+
+    def test_engine_field_is_rejected_with_guidance(self, live_server):
+        with ServiceClient(port=live_server.port) as client:
+            response = client.request(
+                {"kind": "predict", "benchmark": "bfs", "config": "C1",
+                 "engine": "soa"}
+            )
+        assert response["ok"] is False
+        assert "engine-independent" in response["error"]
 
 
 class TestDrainingShutdown:
